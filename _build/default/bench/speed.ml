@@ -1,0 +1,111 @@
+(* Bechamel micro-benchmarks: one Test.make per reproduced table, timing the
+   computation at that table's heart.  Quotas are small so the whole suite
+   stays interactive; absolute numbers are machine-dependent, trends matter. *)
+
+open Qpwm
+open Bechamel
+open Toolkit
+
+let rings_120 = lazy (Random_struct.regular_rings (Prng.create 1) ~n:120)
+let adjacency = Paper_examples.figure1_query
+
+let local_options = { Local_scheme.default_options with rho = Some 1 }
+
+let prepared_local =
+  lazy
+    (match Local_scheme.prepare ~options:local_options (Lazy.force rings_120) adjacency with
+    | Ok s -> s
+    | Error e -> failwith e)
+
+let school_300 = lazy (School_xml.generate (Prng.create 2) ~students:300 ())
+
+let child_query =
+  lazy
+    (let phi = Parser.mso_of_string "S1(x,y) | S2(x,y)" in
+     let compiled = Mso_compile.compile ~base:[| "a"; "b" |] ~free:[ "x"; "y" ] phi in
+     Tree_query.of_compiled compiled ~params:[ "x" ] ~results:[ "y" ])
+
+let tree_600 =
+  lazy (Trees_gen.random_tree (Prng.create 3) ~alphabet:[ "a"; "b" ] ~size:600)
+
+let tests =
+  [
+    (* E1: neighborhood machinery *)
+    Test.make ~name:"e1/type-index rings n=120"
+      (Staged.stage (fun () ->
+           let ws = Lazy.force rings_120 in
+           Neighborhood.index_universe ws.Weighted.graph ~rho:1 ~arity:1));
+    (* E2: the permanent side of Theorem 1 *)
+    Test.make ~name:"e2/permanent n=9"
+      (Staged.stage (fun () -> Bipartite.permanent (Bipartite.complete 9)));
+    (* E3/E4: exact VC dimension *)
+    Test.make ~name:"e3/vc-dimension full n=8"
+      (Staged.stage (fun () ->
+           let ws = Shatter.full 8 in
+           Vc.dimension (Query_vc.of_query ws.Weighted.graph Shatter.query).Query_vc.fam));
+    (* E5: Theorem 3 marker *)
+    Test.make ~name:"e5/local prepare rings n=120"
+      (Staged.stage (fun () ->
+           Local_scheme.prepare ~options:local_options (Lazy.force rings_120) adjacency));
+    Test.make ~name:"e5/local mark 8 bits"
+      (Staged.stage (fun () ->
+           let s = Lazy.force prepared_local in
+           let ws = Lazy.force rings_120 in
+           Local_scheme.mark s (Codec.of_int ~bits:8 173) ws.Weighted.weights));
+    Test.make ~name:"e5/local detect 8 bits"
+      (Staged.stage (fun () ->
+           let s = Lazy.force prepared_local in
+           let ws = Lazy.force rings_120 in
+           Local_scheme.detect_weights s ~original:ws.Weighted.weights
+             ~suspect:ws.Weighted.weights ~length:8));
+    (* E7: Theorem 5 machinery *)
+    Test.make ~name:"e7/tree prepare n=600"
+      (Staged.stage (fun () ->
+           Tree_scheme.prepare (Lazy.force tree_600) (Lazy.force child_query)));
+    Test.make ~name:"e7/automaton run n=600"
+      (Staged.stage (fun () ->
+           let t = Lazy.force tree_600 in
+           let q = Lazy.force child_query in
+           Dta.run (Tree_query.automaton q) t
+             ~label_of:(Alphabet.labeler (Tree_query.alpha q) t [])));
+    (* E8: MSO compilation *)
+    Test.make ~name:"e8/mso compile root-formula"
+      (Staged.stage (fun () ->
+           Mso_compile.compile ~base:[| "a"; "b" |] ~free:[ "x" ]
+             (Parser.mso_of_string "forall y. (Leq(y,x) -> y = x)")));
+    (* E9: XML pattern evaluation *)
+    Test.make ~name:"e9/pattern eval school n=300"
+      (Staged.stage (fun () ->
+           Pattern.f_value School_xml.example4_pattern (Lazy.force school_300) "Robert"));
+    (* E12: the baseline *)
+    Test.make ~name:"e12/agrawal-kiernan mark"
+      (Staged.stage (fun () ->
+           let ws = Lazy.force rings_120 in
+           Agrawal_kiernan.mark
+             { Agrawal_kiernan.key = 1; gamma = 2; xi = 2 }
+             ws.Weighted.weights));
+  ]
+
+let run () =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw =
+    Benchmark.all cfg
+      [ Instance.monotonic_clock ]
+      (Test.make_grouped ~name:"qpwm" tests)
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  let table = Texttab.create [ "benchmark"; "ns/run" ] in
+  List.iter
+    (fun (name, o) ->
+      let est =
+        match Analyze.OLS.estimates o with
+        | Some [ e ] -> Printf.sprintf "%.0f" e
+        | _ -> "n/a"
+      in
+      Texttab.add_row table [ name; est ])
+    (List.sort compare rows);
+  Texttab.print ~title:"micro-benchmarks (Bechamel, monotonic clock)" table

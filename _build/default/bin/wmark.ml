@@ -1,0 +1,449 @@
+(* wmark — query-preserving watermarking from the command line.
+
+   Relational instances travel in the Textio format (see
+   lib/relational/textio.mli); XML documents as plain XML.  Queries are
+   written in the formula syntax of Wm_logic.Parser, XML patterns in the
+   Wm_xml.Pattern syntax.
+
+     wmark gen-travel --travels 50 --transports 120 -o db.txt
+     wmark info db.txt -q "Route(u,v)"
+     wmark mark db.txt -q "Route(u,v)" --message 11 --bits 5 -o marked.txt
+     wmark detect db.txt marked.txt -q "Route(u,v)" --bits 5
+     wmark attack marked.txt -q "Route(u,v)" --kind flips --count 5 -o att.txt
+     wmark capacity small.txt -q "E(u,v)" --cond le --d 1
+     wmark gen-school --students 40 -o school.xml
+     wmark xml-mark school.xml -p "school/student[firstname=$a]/exam" \
+       --message 5 --bits 4 -o marked.xml
+     wmark xml-detect school.xml marked.xml -p "..." --bits 4 *)
+
+open Qpwm
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments *)
+
+let query_term =
+  let doc = "Parametric query formula, e.g. 'Route(u,v)'." in
+  Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"FORMULA" ~doc)
+
+let params_term =
+  let doc = "Comma-separated parameter variables." in
+  Arg.(value & opt string "u" & info [ "params" ] ~docv:"VARS" ~doc)
+
+let results_term =
+  let doc = "Comma-separated result variables." in
+  Arg.(value & opt string "v" & info [ "results" ] ~docv:"VARS" ~doc)
+
+let rho_term =
+  let doc = "Locality rank (default: Gaifman bound of the formula)." in
+  Arg.(value & opt (some int) (Some 1) & info [ "rho" ] ~docv:"RHO" ~doc)
+
+let epsilon_term =
+  let doc = "Distortion parameter: global budget is ceil(1/epsilon)." in
+  Arg.(value & opt float 1.0 & info [ "epsilon" ] ~docv:"EPS" ~doc)
+
+let seed_term =
+  let doc = "PRNG seed (scheme preparation is deterministic per seed)." in
+  Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let out_term =
+  let doc = "Output file." in
+  Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+let bits_term =
+  let doc = "Message length in bits." in
+  Arg.(required & opt (some int) None & info [ "bits" ] ~docv:"N" ~doc)
+
+let message_term =
+  let doc = "Message as a non-negative integer." in
+  Arg.(required & opt (some int) None & info [ "m"; "message" ] ~docv:"N" ~doc)
+
+let pattern_term =
+  let doc = "XML pattern, e.g. 'school/student[firstname=\\$a]/exam'." in
+  Arg.(required & opt (some string) None & info [ "p"; "pattern" ] ~docv:"PATTERN" ~doc)
+
+let split_commas s = String.split_on_char ',' s |> List.map String.trim
+
+let parse_query ~query ~params ~results =
+  Parser.query_of_string ~params:(split_commas params)
+    ~results:(split_commas results) query
+
+let prepare_scheme file ~query ~params ~results ~rho ~epsilon ~seed =
+  let ws = Textio.load file in
+  let q = parse_query ~query ~params ~results in
+  let options = { Local_scheme.seed; rho; epsilon; selection = `Greedy } in
+  match Local_scheme.prepare ~options ws q with
+  | Ok scheme -> (ws, q, scheme)
+  | Error e -> failwith ("prepare: " ^ e)
+
+let handle f =
+  try f (); 0
+  with
+  | Failure m | Invalid_argument m | Sys_error m ->
+      Printf.eprintf "wmark: %s\n" m;
+      1
+  | Wm_relational.Textio.Format_error m ->
+      Printf.eprintf "wmark: bad input file: %s\n" m;
+      1
+  | Wm_logic.Parser.Error m ->
+      Printf.eprintf "wmark: bad formula: %s\n" m;
+      1
+  | Wm_xml.Pattern.Parse_error m ->
+      Printf.eprintf "wmark: bad pattern: %s\n" m;
+      1
+  | Wm_xml.Xml.Parse_error m ->
+      Printf.eprintf "wmark: bad XML: %s\n" m;
+      1
+
+(* ------------------------------------------------------------------ *)
+(* info *)
+
+let info_cmd =
+  let run file query params results rho epsilon seed =
+    handle @@ fun () ->
+    let _, _, scheme =
+      prepare_scheme file ~query ~params ~results ~rho ~epsilon ~seed
+    in
+    let r = Local_scheme.report scheme in
+    Printf.printf "gaifman degree : %d\n" r.Local_scheme.degree;
+    Printf.printf "locality rank  : %d\n" r.Local_scheme.rho;
+    Printf.printf "types (ntp)    : %d\n" r.Local_scheme.ntp;
+    Printf.printf "active |W|     : %d\n" r.Local_scheme.active;
+    Printf.printf "pairs          : %d available, %d selected\n"
+      r.Local_scheme.pairs_available r.Local_scheme.pairs_selected;
+    Printf.printf "capacity       : %d bits\n" r.Local_scheme.pairs_selected;
+    Printf.printf "budget         : %d (certified max distortion %d)\n"
+      r.Local_scheme.budget r.Local_scheme.max_split
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Report a scheme's capacity and certificates.")
+    Term.(
+      const run $ file $ query_term $ params_term $ results_term $ rho_term
+      $ epsilon_term $ seed_term)
+
+(* mark *)
+
+let mark_cmd =
+  let run file query params results rho epsilon seed message bits out =
+    handle @@ fun () ->
+    let ws, _, scheme =
+      prepare_scheme file ~query ~params ~results ~rho ~epsilon ~seed
+    in
+    if bits > Local_scheme.capacity scheme then
+      failwith
+        (Printf.sprintf "message needs %d bits, capacity is %d" bits
+           (Local_scheme.capacity scheme));
+    let m = Codec.of_int ~bits message in
+    let marked = Local_scheme.mark scheme m ws.Weighted.weights in
+    Textio.save out { ws with Weighted.weights = marked };
+    Printf.printf "embedded %d (%d bits) into %s\n" message bits out
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "mark" ~doc:"Embed a message into a weighted structure.")
+    Term.(
+      const run $ file $ query_term $ params_term $ results_term $ rho_term
+      $ epsilon_term $ seed_term $ message_term $ bits_term $ out_term)
+
+(* detect *)
+
+let detect_cmd =
+  let run original suspect query params results rho epsilon seed bits =
+    handle @@ fun () ->
+    let ws, _, scheme =
+      prepare_scheme original ~query ~params ~results ~rho ~epsilon ~seed
+    in
+    let sus = Textio.load suspect in
+    let decoded =
+      Local_scheme.detect_weights scheme ~original:ws.Weighted.weights
+        ~suspect:sus.Weighted.weights ~length:bits
+    in
+    Printf.printf "decoded: %d (bits %s)\n" (Codec.to_int decoded)
+      (Format.asprintf "%a" Bitvec.pp decoded)
+  in
+  let original = Arg.(required & pos 0 (some file) None & info [] ~docv:"ORIGINAL") in
+  let suspect = Arg.(required & pos 1 (some file) None & info [] ~docv:"SUSPECT") in
+  Cmd.v
+    (Cmd.info "detect" ~doc:"Read a mark back from a suspect copy.")
+    Term.(
+      const run $ original $ suspect $ query_term $ params_term $ results_term
+      $ rho_term $ epsilon_term $ seed_term $ bits_term)
+
+(* capacity *)
+
+let capacity_cmd =
+  let run file query params results cond d =
+    handle @@ fun () ->
+    let ws = Textio.load file in
+    let q = parse_query ~query ~params ~results in
+    let qs = Query_system.of_relational ws.Weighted.graph q in
+    let condition =
+      match cond with
+      | "le" -> Capacity.Max_le d
+      | "eq" -> Capacity.Max_eq d
+      | "alleq" -> Capacity.All_eq d
+      | c -> failwith ("unknown condition " ^ c)
+    in
+    Printf.printf "#Mark(%s %d) = %d\n" cond d (Capacity.count qs condition)
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let cond =
+    Arg.(value & opt string "le" & info [ "cond" ] ~docv:"le|eq|alleq")
+  in
+  let d = Arg.(value & opt int 1 & info [ "d" ] ~docv:"D") in
+  Cmd.v
+    (Cmd.info "capacity"
+       ~doc:"Count exact watermarking capacity (#P-hard; small inputs).")
+    Term.(const run $ file $ query_term $ params_term $ results_term $ cond $ d)
+
+(* attack *)
+
+let attack_cmd =
+  let run file query params results kind amplitude count seed out =
+    handle @@ fun () ->
+    let ws = Textio.load file in
+    let q = parse_query ~query ~params ~results in
+    let qs = Query_system.of_relational ws.Weighted.graph q in
+    let attack =
+      match kind with
+      | "noise" -> Adversary.Uniform_noise { amplitude }
+      | "flips" -> Adversary.Random_flips { count; amplitude }
+      | "rounding" -> Adversary.Rounding { multiple = max 1 amplitude }
+      | "offset" -> Adversary.Constant_offset { delta = amplitude }
+      | k -> failwith ("unknown attack " ^ k)
+    in
+    let attacked =
+      Adversary.apply (Prng.create seed) attack
+        ~active:(Query_system.active qs) ws.Weighted.weights
+    in
+    Textio.save out { ws with Weighted.weights = attacked };
+    Printf.printf "%s: spent global budget %d, wrote %s\n"
+      (Adversary.describe attack)
+      (Distortion.global qs ws.Weighted.weights attacked)
+      out
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let kind =
+    Arg.(value & opt string "flips" & info [ "kind" ] ~docv:"noise|flips|rounding|offset")
+  in
+  let amplitude = Arg.(value & opt int 1 & info [ "amplitude" ] ~docv:"A") in
+  let count = Arg.(value & opt int 5 & info [ "count" ] ~docv:"N") in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Apply an adversarial distortion to a copy.")
+    Term.(
+      const run $ file $ query_term $ params_term $ results_term $ kind
+      $ amplitude $ count $ seed_term $ out_term)
+
+(* multi-query mark/detect: -q can be repeated; all queries share the
+   default u/v variable convention. *)
+
+let queries_term =
+  let doc = "Query formula; repeatable to preserve several queries at once." in
+  Arg.(non_empty & opt_all string [] & info [ "q"; "query" ] ~docv:"FORMULA" ~doc)
+
+let parse_queries ~queries ~params ~results =
+  List.map (fun query -> parse_query ~query ~params ~results) queries
+
+let multi_mark_cmd =
+  let run file queries params results rho epsilon seed message bits out =
+    handle @@ fun () ->
+    let ws = Textio.load file in
+    let qs = parse_queries ~queries ~params ~results in
+    let options = { Local_scheme.seed; rho; epsilon; selection = `Greedy } in
+    match Multi_scheme.prepare ~options ws qs with
+    | Error e -> failwith ("prepare: " ^ e)
+    | Ok scheme ->
+        if bits > Multi_scheme.capacity scheme then
+          failwith
+            (Printf.sprintf "message needs %d bits, capacity is %d" bits
+               (Multi_scheme.capacity scheme));
+        let marked =
+          Multi_scheme.mark scheme (Codec.of_int ~bits message) ws.Weighted.weights
+        in
+        Textio.save out { ws with Weighted.weights = marked };
+        Printf.printf "embedded %d (%d bits) preserving %d queries into %s\n"
+          message bits (List.length qs) out
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "multi-mark"
+       ~doc:"Embed a message while preserving several queries at once.")
+    Term.(
+      const run $ file $ queries_term $ params_term $ results_term $ rho_term
+      $ epsilon_term $ seed_term $ message_term $ bits_term $ out_term)
+
+let multi_detect_cmd =
+  let run original suspect queries params results rho epsilon seed bits =
+    handle @@ fun () ->
+    let ws = Textio.load original in
+    let sus = Textio.load suspect in
+    let qs = parse_queries ~queries ~params ~results in
+    let options = { Local_scheme.seed; rho; epsilon; selection = `Greedy } in
+    match Multi_scheme.prepare ~options ws qs with
+    | Error e -> failwith ("prepare: " ^ e)
+    | Ok scheme ->
+        let decoded =
+          Multi_scheme.detect_weights scheme ~original:ws.Weighted.weights
+            ~suspect:sus.Weighted.weights ~length:bits
+        in
+        Printf.printf "decoded: %d (bits %s)\n" (Codec.to_int decoded)
+          (Format.asprintf "%a" Bitvec.pp decoded)
+  in
+  let original = Arg.(required & pos 0 (some file) None & info [] ~docv:"ORIGINAL") in
+  let suspect = Arg.(required & pos 1 (some file) None & info [] ~docv:"SUSPECT") in
+  Cmd.v
+    (Cmd.info "multi-detect"
+       ~doc:"Read a multi-query mark back from a suspect copy.")
+    Term.(
+      const run $ original $ suspect $ queries_term $ params_term
+      $ results_term $ rho_term $ epsilon_term $ seed_term $ bits_term)
+
+(* vc *)
+
+let vc_cmd =
+  let run file query params results =
+    handle @@ fun () ->
+    let ws = Textio.load file in
+    let q = parse_query ~query ~params ~results in
+    let ix = Query_vc.of_query ws.Weighted.graph q in
+    let universe = Setfam.universe_size ix.Query_vc.fam in
+    if universe > 24 then
+      failwith
+        (Printf.sprintf "active set too large for exact VC computation (%d)"
+           universe);
+    let d = Vc.dimension ix.Query_vc.fam in
+    Printf.printf "active |W|      : %d\n" universe;
+    Printf.printf "distinct W_a    : %d\n" (Setfam.cardinal ix.Query_vc.fam);
+    Printf.printf "VC dimension    : %d\n" d;
+    Printf.printf "maximal (VC=|W|): %s\n"
+      (if Query_vc.maximal_on ws.Weighted.graph q then
+         "yes - Theorem 2 forbids a watermarking scheme here"
+       else "no");
+    Printf.printf "sauer-shelah    : |C| = %d <= %d\n"
+      (Setfam.cardinal ix.Query_vc.fam)
+      (Vc.sauer_shelah ~d ~n:universe)
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "vc"
+       ~doc:
+         "Compute the VC-dimension of the query's definable family — the \
+          owner's watermarkability estimate (Theorem 2 / Section 2).")
+    Term.(const run $ file $ query_term $ params_term $ results_term)
+
+(* generators *)
+
+let gen_travel_cmd =
+  let run travels transports seed out =
+    handle @@ fun () ->
+    Textio.save out (Random_struct.travel (Prng.create seed) ~travels ~transports);
+    Printf.printf "wrote %s\n" out
+  in
+  let travels = Arg.(value & opt int 50 & info [ "travels" ] ~docv:"N") in
+  let transports = Arg.(value & opt int 120 & info [ "transports" ] ~docv:"N") in
+  Cmd.v
+    (Cmd.info "gen-travel" ~doc:"Generate a random travel database.")
+    Term.(const run $ travels $ transports $ seed_term $ out_term)
+
+let gen_school_cmd =
+  let run students seed out =
+    handle @@ fun () ->
+    let doc = School_xml.generate (Prng.create seed) ~students () in
+    let oc = open_out out in
+    output_string oc (Xml.to_string (Utree.to_xml doc));
+    close_out oc;
+    Printf.printf "wrote %s\n" out
+  in
+  let students = Arg.(value & opt int 30 & info [ "students" ] ~docv:"N") in
+  Cmd.v
+    (Cmd.info "gen-school" ~doc:"Generate a random school XML document.")
+    Term.(const run $ students $ seed_term $ out_term)
+
+let gen_biblio_cmd =
+  let run articles seed out =
+    handle @@ fun () ->
+    let doc = Biblio_xml.generate (Prng.create seed) ~articles () in
+    let oc = open_out out in
+    output_string oc (Xml.to_string (Utree.to_xml doc));
+    close_out oc;
+    Printf.printf "wrote %s (pattern: %s)\n" out
+      (Pattern.to_string Biblio_xml.pattern)
+  in
+  let articles = Arg.(value & opt int 40 & info [ "articles" ] ~docv:"N") in
+  Cmd.v
+    (Cmd.info "gen-biblio"
+       ~doc:"Generate a random bibliography XML document (descendant-axis demo).")
+    Term.(const run $ articles $ seed_term $ out_term)
+
+(* XML mark/detect *)
+
+let block_term =
+  let doc =
+    "Block size for the tree scheme (default 2m, m = automaton states).  \
+     Smaller blocks raise capacity; the distortion certificate is \
+     unaffected, only the chance of finding behavioral twins."
+  in
+  Arg.(value & opt (some int) None & info [ "block" ] ~docv:"N" ~doc)
+
+let load_xml path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> Utree.of_xml (Xml.parse (really_input_string ic (in_channel_length ic))))
+
+let xml_mark_cmd =
+  let run file pattern message bits seed block out =
+    handle @@ fun () ->
+    let doc = load_xml file in
+    let p = Pattern.parse pattern in
+    let options = { Tree_scheme.default_options with seed; block_size = block } in
+    match Pipeline.prepare_xml ~options doc p with
+    | Error e -> failwith e
+    | Ok xs ->
+        if bits > Tree_scheme.capacity xs.Pipeline.scheme then
+          failwith
+            (Printf.sprintf "message needs %d bits, capacity is %d" bits
+               (Tree_scheme.capacity xs.Pipeline.scheme));
+        let marked = Pipeline.mark_xml xs ~message:(Codec.of_int ~bits message) doc in
+        let oc = open_out out in
+        output_string oc (Xml.to_string (Utree.to_xml marked));
+        close_out oc;
+        Printf.printf "embedded %d (%d bits) into %s\n" message bits out
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
+  Cmd.v
+    (Cmd.info "xml-mark" ~doc:"Embed a message into an XML document.")
+    Term.(const run $ file $ pattern_term $ message_term $ bits_term $ seed_term $ block_term $ out_term)
+
+let xml_detect_cmd =
+  let run original suspect pattern bits seed block =
+    handle @@ fun () ->
+    let doc = load_xml original in
+    let sus = load_xml suspect in
+    let p = Pattern.parse pattern in
+    let options = { Tree_scheme.default_options with seed; block_size = block } in
+    match Pipeline.prepare_xml ~options doc p with
+    | Error e -> failwith e
+    | Ok xs ->
+        let decoded = Pipeline.detect_xml xs ~original:doc ~suspect:sus ~length:bits in
+        Printf.printf "decoded: %d (bits %s)\n" (Codec.to_int decoded)
+          (Format.asprintf "%a" Bitvec.pp decoded)
+  in
+  let original = Arg.(required & pos 0 (some file) None & info [] ~docv:"ORIGINAL") in
+  let suspect = Arg.(required & pos 1 (some file) None & info [] ~docv:"SUSPECT") in
+  Cmd.v
+    (Cmd.info "xml-detect" ~doc:"Read a mark back from a suspect XML document.")
+    Term.(const run $ original $ suspect $ pattern_term $ bits_term $ seed_term $ block_term)
+
+let main =
+  let doc = "query-preserving watermarking of relational databases and XML" in
+  Cmd.group
+    (Cmd.info "wmark" ~version:"1.0.0" ~doc)
+    [
+      info_cmd; mark_cmd; detect_cmd; multi_mark_cmd; multi_detect_cmd;
+      capacity_cmd; vc_cmd; attack_cmd; gen_travel_cmd; gen_school_cmd;
+      gen_biblio_cmd; xml_mark_cmd; xml_detect_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

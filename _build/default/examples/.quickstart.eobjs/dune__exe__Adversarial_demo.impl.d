@@ -1,0 +1,1 @@
+examples/adversarial_demo.ml: Adversary Bitvec Codec Format List Local_scheme Paper_examples Printf Prng Qpwm Query_system Random_struct Robust Texttab Weighted

@@ -1,0 +1,1 @@
+examples/cliquewidth_graphs.ml: Bitvec Codec Cw_adjacency Cw_parse Cw_term Format Gaifman List Prng Qpwm Structure Tree_scheme Tuple Weighted

@@ -1,0 +1,1 @@
+examples/cliquewidth_graphs.mli:

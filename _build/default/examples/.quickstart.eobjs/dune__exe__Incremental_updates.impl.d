@@ -1,0 +1,1 @@
+examples/incremental_updates.ml: Bitvec Codec Format Fun Incremental List Local_scheme Paper_examples Prng Qpwm Random_struct Schema Structure Weighted

@@ -1,0 +1,1 @@
+examples/locality_pairs.ml: Array Codec Format List Neighborhood Pairing Paper_examples Printf Qpwm Query Query_system String Structure Texttab Tuple Weighted

@@ -1,0 +1,1 @@
+examples/ownership_dispute.ml: Adversary Bitvec Codec Detector Format List Local_scheme Paper_examples Prng Qpwm Query_system Random_struct Weighted

@@ -1,0 +1,1 @@
+examples/ownership_dispute.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bitvec Codec Format List Local_scheme Paper_examples Qpwm Structure Weighted

@@ -1,0 +1,1 @@
+examples/travel_agency.ml: Adversary Bitvec Codec Distortion Format List Local_scheme Prng Qpwm Query_system Random_struct Robust Structure Weighted

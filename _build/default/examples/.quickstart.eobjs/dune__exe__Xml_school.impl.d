@@ -1,0 +1,1 @@
+examples/xml_school.ml: Bitvec Codec Format List Pattern Pipeline Prng Qpwm School_xml Tree_scheme Utree Xml

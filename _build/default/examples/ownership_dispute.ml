@@ -1,0 +1,69 @@
+(* An ownership dispute, adjudicated with statistics.
+
+   Three servers answer the same queries: one bought a marked copy and
+   leaked it, one computed the same public data independently (innocent
+   twin), one serves the marked copy after laundering it with noise.  The
+   owner must accuse the right one — and must NOT accuse the innocent one.
+   Detector verdicts make the difference quantitative: carrier counts,
+   confidence, and binomial p-values. *)
+
+open Qpwm
+
+let () =
+  let owner = Random_struct.regular_rings (Prng.create 2026) ~n:150 in
+  let query = Paper_examples.figure1_query in
+  let scheme =
+    match Local_scheme.prepare owner query with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let bits = min 12 (Local_scheme.capacity scheme) in
+  let licensed_id = Codec.of_int ~bits 1776 in
+  let marked = Local_scheme.mark scheme licensed_id owner.Weighted.weights in
+  Format.printf "licensed copy carries id %a (%d bits)@.@." Bitvec.pp
+    licensed_id bits;
+
+  let qs = Local_scheme.query_system scheme in
+  let active = Query_system.active qs in
+  let suspects =
+    [
+      ("leaker.example (verbatim copy)", marked);
+      ("twin.example (independent, identical data)", owner.Weighted.weights);
+      ( "launder.example (marked + noise)",
+        Adversary.apply (Prng.create 7)
+          (Adversary.Uniform_noise { amplitude = 1 })
+          ~active marked );
+    ]
+  in
+  List.iter
+    (fun (name, weights) ->
+      let v =
+        Detector.read_weights (Local_scheme.pairs scheme)
+          ~original:owner.Weighted.weights ~suspect:weights ~length:bits
+      in
+      let p_id = Detector.match_pvalue ~expected:licensed_id v in
+      Format.printf "%s@." name;
+      Format.printf
+        "  carriers: %d strong, %d weak, %d silent (confidence %.2f)@."
+        v.Detector.strong v.Detector.weak v.Detector.silent v.Detector.confidence;
+      Format.printf "  mark-presence screen (no id needed): %s@."
+        (if Detector.is_marked v then "positive" else "negative");
+      Format.printf "  P[reads the licensed id by chance] = %.2g@." p_id;
+      (* The accusation rests on the id match: decoding the exact licensed
+         id out of sign differentials has probability ~2^-bits on innocent
+         data.  The presence screen is what an owner runs first, before it
+         knows which licensee to suspect. *)
+      let accuse = p_id < 0.01 in
+      Format.printf "  verdict: %s@.@."
+        (if accuse then "ACCUSE — carries the licensed id"
+         else "clear — no statistically defensible mark");
+      (* The innocent twin must never be accused. *)
+      if name = "twin.example (independent, identical data)" then
+        assert (not accuse))
+    suspects;
+  Format.printf
+    "The verbatim copy convicts at p ~ 2^-%d; the laundered copy's noise@.\
+     damages carriers but rarely flips a +-2 differential's sign, so the@.\
+     licensed id still reads out and convicts; the innocent twin shows@.\
+     nothing — accusations rest on statistics, not suspicion.@."
+    bits

@@ -1,0 +1,1 @@
+lib/cliquewidth/cw_adjacency.ml: Alphabet Array Cw_parse Dta Hashtbl List Option String Tree_query Tuple

@@ -1,0 +1,1 @@
+lib/cliquewidth/cw_adjacency.mli: Alphabet Cw_term Dta Tree_query

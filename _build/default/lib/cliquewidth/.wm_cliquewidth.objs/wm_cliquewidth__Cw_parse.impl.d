@@ -1,0 +1,1 @@
+lib/cliquewidth/cw_parse.ml: Array Btree Cw_term Fun List Printf String Tuple Weighted

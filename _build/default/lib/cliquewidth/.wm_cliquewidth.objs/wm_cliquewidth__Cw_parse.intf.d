@@ -1,0 +1,1 @@
+lib/cliquewidth/cw_parse.mli: Btree Cw_term Weighted

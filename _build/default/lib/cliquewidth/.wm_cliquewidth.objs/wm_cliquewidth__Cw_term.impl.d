@@ -1,0 +1,1 @@
+lib/cliquewidth/cw_term.ml: Array Format Gaifman List Prng Schema Structure

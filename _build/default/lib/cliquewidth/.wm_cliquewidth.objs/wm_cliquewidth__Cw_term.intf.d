@@ -1,0 +1,1 @@
+lib/cliquewidth/cw_term.mli: Format Prng Structure

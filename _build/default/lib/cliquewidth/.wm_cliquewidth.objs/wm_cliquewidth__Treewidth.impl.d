@@ -1,0 +1,1 @@
+lib/cliquewidth/treewidth.ml: Array Gaifman Int List Queue Set Structure

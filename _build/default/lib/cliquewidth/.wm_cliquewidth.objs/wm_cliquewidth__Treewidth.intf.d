@@ -1,0 +1,1 @@
+lib/cliquewidth/treewidth.mli: Structure

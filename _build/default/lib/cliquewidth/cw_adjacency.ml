@@ -1,0 +1,252 @@
+(* State encoding: lx, ly in 0..k (k = "not seen"), adj in {0,1}:
+   id = ((lx * (k+1)) + ly) * 2 + adj; dead = 2 (k+1)^2. *)
+
+let automaton ~labels =
+  let k = labels in
+  let none = k in
+  let encode lx ly adj = (((lx * (k + 1)) + ly) * 2) + adj in
+  let dead = 2 * (k + 1) * (k + 1) in
+  let nstates = dead + 1 in
+  let decode q = (q / 2 / (k + 1), q / 2 mod (k + 1), q land 1) in
+  let base_letters = Array.of_list (Cw_parse.alphabet ~labels) in
+  let alpha = Alphabet.make ~base_size:(Array.length base_letters) ~bits:2 in
+  let parse_letter s =
+    if String.length s > 1 && s.[0] = 'v' then
+      `Vertex (int_of_string (String.sub s 1 (String.length s - 1)))
+    else if s = Cw_parse.letter_union then `Union
+    else
+      match String.split_on_char '_' s with
+      | [ "eta"; a; b ] -> `Eta (int_of_string a, int_of_string b)
+      | [ "rho"; a; b ] -> `Rho (int_of_string a, int_of_string b)
+      | _ -> invalid_arg ("Cw_adjacency: unknown letter " ^ s)
+  in
+  let parsed = Array.map parse_letter base_letters in
+  let delta ql qr letter =
+    let b = Alphabet.base alpha letter in
+    let bx = Alphabet.bit alpha letter 0 and by = Alphabet.bit alpha letter 1 in
+    let empty = encode none none 0 in
+    let ql = if ql < 0 then empty else ql in
+    let qr = if qr < 0 then empty else qr in
+    if ql = dead || qr = dead then dead
+    else begin
+      let lx1, ly1, a1 = decode ql in
+      let lx2, ly2, a2 = decode qr in
+      (* Merge the children's pebble views; two sightings of a pebble is an
+         invalid placement. *)
+      let merge m1 m2 =
+        if m1 <> none && m2 <> none then None
+        else Some (if m1 <> none then m1 else m2)
+      in
+      match (merge lx1 lx2, merge ly1 ly2) with
+      | None, _ | _, None -> dead
+      | Some lx, Some ly -> (
+          let adj = if a1 + a2 > 0 then 1 else 0 in
+          match parsed.(b) with
+          | `Vertex l ->
+              (* Must be a leaf with no pebbles inside. *)
+              if lx <> none || ly <> none || adj = 1 then dead
+              else
+                let lx = if bx then l else none in
+                let ly = if by then l else none in
+                encode lx ly 0
+          | `Union ->
+              if bx || by then dead (* pebble on a non-vertex node *)
+              else encode lx ly adj
+          | `Eta (a, b') ->
+              if bx || by then dead
+              else
+                let adj =
+                  if
+                    lx <> none && ly <> none
+                    && ((lx = a && ly = b') || (lx = b' && ly = a))
+                  then 1
+                  else adj
+                in
+                encode lx ly adj
+          | `Rho (a, b') ->
+              if bx || by then dead
+              else
+                let relabel l = if l = a then b' else l in
+                let lx = if lx = none then none else relabel lx in
+                let ly = if ly = none then none else relabel ly in
+                encode lx ly adj)
+    end
+  in
+  let final q =
+    q <> dead
+    &&
+    let lx, ly, adj = decode q in
+    lx <> none && ly <> none && adj = 1
+  in
+  (Dta.make ~nstates ~nlabels:(Alphabet.size alpha) ~final delta, alpha)
+
+(* Construction (especially minimization) is label-count-dependent but
+   input-independent, so both query builders memoize per label count. *)
+let query_cache : (int, Tree_query.t) Hashtbl.t = Hashtbl.create 4
+
+let query ~labels =
+  match Hashtbl.find_opt query_cache labels with
+  | Some q -> q
+  | None ->
+      let auto, alpha = automaton ~labels in
+      (* Many (lx, ly, adj) combinations are behaviorally equal (e.g. all
+         "x seen, y never will be" states); minimizing shrinks m and
+         thereby the 2m block threshold of the Theorem 5 scheme. *)
+      let q = Tree_query.make (Dta.minimize auto) ~alpha ~k:1 ~s:1 in
+      Hashtbl.replace query_cache labels q;
+      q
+
+(* ------------------------------------------------------------------ *)
+(* Distance two. *)
+
+type d2 = {
+  lu : int;  (* current label of u's vertex, or [k] = not seen *)
+  lv : int;
+  present : int;  (* label bitmask of non-pebbled vertices *)
+  wu : int;  (* labels of some non-pebbled neighbor of u *)
+  wv : int;
+  via : bool;  (* exists non-pebbled w adjacent to both u and v *)
+}
+
+type d2_state = D2_dead | D2 of d2
+
+let shared_parse ~labels =
+  let base_letters = Array.of_list (Cw_parse.alphabet ~labels) in
+  let alpha = Alphabet.make ~base_size:(Array.length base_letters) ~bits:2 in
+  let parse_letter s =
+    if String.length s > 1 && s.[0] = 'v' then
+      `Vertex (int_of_string (String.sub s 1 (String.length s - 1)))
+    else if s = Cw_parse.letter_union then `Union
+    else
+      match String.split_on_char '_' s with
+      | [ "eta"; a; b ] -> `Eta (int_of_string a, int_of_string b)
+      | [ "rho"; a; b ] -> `Rho (int_of_string a, int_of_string b)
+      | _ -> invalid_arg ("Cw_adjacency: unknown letter " ^ s)
+  in
+  (alpha, Array.map parse_letter base_letters)
+
+let distance2_automaton ~labels =
+  let k = labels in
+  let none = k in
+  let alpha, parsed = shared_parse ~labels in
+  let empty = D2 { lu = none; lv = none; present = 0; wu = 0; wv = 0; via = false } in
+  let mem m l = (m lsr l) land 1 = 1 in
+  let relabel_set a b m =
+    if mem m a then (m land lnot (1 lsl a)) lor (1 lsl b) else m
+  in
+  (* Once the witness exists, only the pebbles' presence matters for
+     acceptance (via stays true; lu/lv evolve independently of the sets),
+     so collapsing the sets caps the reachable state count. *)
+  let canon = function
+    | D2 s when s.via -> D2 { s with present = 0; wu = 0; wv = 0 }
+    | st -> st
+  in
+  let delta_raw ql qr letter =
+    let b = Alphabet.base alpha letter in
+    let bx = Alphabet.bit alpha letter 0 and by = Alphabet.bit alpha letter 1 in
+    let ql = Option.value ~default:empty ql
+    and qr = Option.value ~default:empty qr in
+    match (ql, qr) with
+    | D2_dead, _ | _, D2_dead -> D2_dead
+    | D2 s1, D2 s2 -> (
+        let pick m1 m2 =
+          if m1 <> none && m2 <> none then None
+          else Some (if m1 <> none then m1 else m2)
+        in
+        match (pick s1.lu s2.lu, pick s1.lv s2.lv) with
+        | None, _ | _, None -> D2_dead
+        | Some lu, Some lv -> (
+            let merged =
+              {
+                lu;
+                lv;
+                present = s1.present lor s2.present;
+                wu = s1.wu lor s2.wu;
+                wv = s1.wv lor s2.wv;
+                via = s1.via || s2.via;
+              }
+            in
+            match parsed.(b) with
+            | `Vertex l ->
+                if merged.present <> 0 || lu <> none || lv <> none || merged.via
+                then D2_dead
+                else if bx || by then
+                  D2
+                    {
+                      lu = (if bx then l else none);
+                      lv = (if by then l else none);
+                      present = 0;
+                      wu = 0;
+                      wv = 0;
+                      via = false;
+                    }
+                else D2 { merged with present = 1 lsl l }
+            | `Union -> if bx || by then D2_dead else D2 merged
+            | `Eta (a, b') ->
+                if bx || by then D2_dead
+                else begin
+                  let gain l m =
+                    (* new neighbor labels for a pebble currently labeled l *)
+                    let m = if l = a && mem merged.present b' then m lor (1 lsl b') else m in
+                    if l = b' && mem merged.present a then m lor (1 lsl a) else m
+                  in
+                  let wu = gain merged.lu merged.wu in
+                  let wv = gain merged.lv merged.wv in
+                  let both_new =
+                    (merged.lu = a && merged.lv = a && mem merged.present b')
+                    || (merged.lu = b' && merged.lv = b' && mem merged.present a)
+                  in
+                  let one_new =
+                    (merged.lu = a && mem merged.wv b')
+                    || (merged.lu = b' && mem merged.wv a)
+                    || (merged.lv = a && mem merged.wu b')
+                    || (merged.lv = b' && mem merged.wu a)
+                  in
+                  D2 { merged with wu; wv; via = merged.via || both_new || one_new }
+                end
+            | `Rho (a, b') ->
+                if bx || by then D2_dead
+                else
+                  let rl l = if l = a then b' else l in
+                  D2
+                    {
+                      merged with
+                      lu = (if merged.lu = none then none else rl merged.lu);
+                      lv = (if merged.lv = none then none else rl merged.lv);
+                      present = relabel_set a b' merged.present;
+                      wu = relabel_set a b' merged.wu;
+                      wv = relabel_set a b' merged.wv;
+                    }))
+  in
+  let delta ql qr letter = canon (delta_raw ql qr letter) in
+  let final = function
+    | D2_dead -> false
+    | D2 s -> s.lu <> none && s.lv <> none && s.via
+  in
+  (Dta.make_reachable ~nlabels:(Alphabet.size alpha) ~final ~delta, alpha)
+
+let d2_cache : (int, Tree_query.t) Hashtbl.t = Hashtbl.create 4
+
+let distance2_query ~labels =
+  if labels > 2 then
+    invalid_arg
+      "Cw_adjacency.distance2_query: supported for labels <= 2 (state space \
+       grows steeply with the label count)";
+  match Hashtbl.find_opt d2_cache labels with
+  | Some q -> q
+  | None ->
+      let auto, alpha = distance2_automaton ~labels in
+      let q = Tree_query.make (Dta.minimize auto) ~alpha ~k:1 ~s:1 in
+      Hashtbl.replace d2_cache labels q;
+      q
+
+let neighbors_via_tree ~labels term a =
+  let tree = Cw_parse.to_tree ~labels term in
+  let nodes = Cw_parse.vertex_nodes tree in
+  let node_vertex = Hashtbl.create 16 in
+  Array.iteri (fun vertex node -> Hashtbl.replace node_vertex node vertex) nodes;
+  let q = query ~labels in
+  Tree_query.result_set q tree (Tuple.singleton nodes.(a))
+  |> Tuple.Set.elements
+  |> List.filter_map (fun t -> Hashtbl.find_opt node_vertex t.(0))
+  |> List.sort compare

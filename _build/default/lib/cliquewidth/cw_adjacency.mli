@@ -1,0 +1,47 @@
+(** The translated adjacency query psi~ on parse trees (Theorem 4).
+
+    For psi(u, v) = E(u, v) on a clique-width-k graph, the translated query
+    on the parse tree is recognized by a small hand-built automaton with
+    two pebbles: bottom-up it tracks the current label of the pebbled
+    vertices (labels change under rho) and whether an eta operation has
+    already connected them.  States: (label of u's vertex | none) x
+    (label of v's vertex | none) x (adjacent yet?) plus a rejecting sink
+    for ill-placed pebbles — 2(k+1)^2 + 1 states, independent of the
+    graph's size {e and} of its degree, which is the whole point: cliques
+    have clique-width 2 and unbounded degree, so Theorem 3's machinery
+    cannot certify them but this can. *)
+
+val automaton : labels:int -> Dta.t * Alphabet.t
+(** Over {!Cw_parse.alphabet} extended with two pebble bits (bit 0 = the
+    parameter u, bit 1 = the result v). *)
+
+val query : labels:int -> Tree_query.t
+(** The automaton wrapped as a k = 1, s = 1 tree query: run it on
+    {!Cw_parse.to_tree} views; B(a, T) = parse-tree leaves of the
+    neighbors of a's vertex (pebbles on non-leaf nodes are never
+    accepted). *)
+
+val neighbors_via_tree : labels:int -> Cw_term.t -> int -> int list
+(** Convenience: the graph neighbors of a vertex computed entirely through
+    the parse-tree automaton (vertex ids).  Must equal the Gaifman
+    neighborhood of the evaluated graph — the correspondence the tests
+    assert. *)
+
+(** {1 A second translated query: distance two}
+
+    psi(u, v) = exists w. E(u,w) & E(w,v) (with w distinct from u and v).
+    Beyond tracking the pebbles' labels, the automaton carries three label
+    {e sets}: the labels present among non-pebbled vertices, and the labels
+    of some non-pebbled neighbor of u (resp. v) — existence information
+    that relabeling updates exactly.  The natural state space is
+    (k+1)^2 8^k, of which only a sliver is reachable:
+    {!Dta.make_reachable} materializes just that sliver. *)
+
+val distance2_query : labels:int -> Tree_query.t
+(** k = 1, s = 1, over the same pebble alphabet as {!query}.  Supported
+    for [labels <= 2] (which already covers cliques, cographs and the
+    other width-2 classes): the reachable state space and the exact
+    minimization grow steeply with the label count — the generic price of
+    Theorem 4's automata that the paper's "q can be rather huge for
+    practical applications" remark is about.
+    @raise Invalid_argument for labels > 2. *)

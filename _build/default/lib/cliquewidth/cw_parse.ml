@@ -1,0 +1,56 @@
+let letter_vertex l = Printf.sprintf "v%d" l
+let letter_union = "union"
+let letter_eta a b = Printf.sprintf "eta_%d_%d" a b
+let letter_rho a b = Printf.sprintf "rho_%d_%d" a b
+
+let alphabet ~labels =
+  let vs = List.init labels letter_vertex in
+  let pairs f =
+    List.concat
+      (List.init labels (fun a ->
+           List.filter_map
+             (fun b -> if a = b then None else Some (f a b))
+             (List.init labels Fun.id)))
+  in
+  (* rho with equal labels is the identity and never emitted; eta requires
+     distinct labels.  rho_{a->b} for all ordered distinct pairs. *)
+  vs @ [ letter_union ] @ pairs letter_eta @ pairs letter_rho
+
+let rec spec ~labels (term : Cw_term.t) : Btree.spec =
+  match term with
+  | Vertex l ->
+      if l >= labels then invalid_arg "Cw_parse.to_tree: label out of range";
+      Btree.leaf (letter_vertex l)
+  | Union (s, t) ->
+      Btree.node letter_union (spec ~labels s) (spec ~labels t)
+  | Add_edges (a, b, t) ->
+      if max a b >= labels then invalid_arg "Cw_parse.to_tree: label out of range";
+      Btree.node1 (letter_eta a b) (spec ~labels t)
+  | Relabel (a, b, t) ->
+      if max a b >= labels then invalid_arg "Cw_parse.to_tree: label out of range";
+      if a = b then spec ~labels t
+      else Btree.node1 (letter_rho a b) (spec ~labels t)
+
+let to_tree ~labels term =
+  Btree.of_spec_with_alphabet (alphabet ~labels) (spec ~labels term)
+
+let is_vertex_letter s = String.length s >= 2 && s.[0] = 'v'
+
+let vertex_nodes tree =
+  let acc = ref [] in
+  for v = Btree.size tree - 1 downto 0 do
+    if is_vertex_letter (Btree.label_name tree v) then acc := v :: !acc
+  done;
+  Array.of_list !acc
+
+let vertex_weights tree w =
+  let nodes = vertex_nodes tree in
+  Array.to_list nodes
+  |> List.mapi (fun vertex node -> (Tuple.singleton node, Weighted.get_elt w vertex))
+  |> Weighted.of_list 1
+
+let weights_to_graph tree w =
+  let nodes = vertex_nodes tree in
+  Array.to_list nodes
+  |> List.mapi (fun vertex node -> (Tuple.singleton vertex, Weighted.get_elt w node))
+  |> Weighted.of_list 1

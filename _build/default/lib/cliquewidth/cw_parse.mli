@@ -1,0 +1,32 @@
+(** Parse trees of clique-width terms, as binary Sigma-trees.
+
+    Letters: ["v<l>"] for [Vertex l] (leaves), ["union"] (two children),
+    ["eta_<a>_<b>"] and ["rho_<a>_<b>"] (one left child).  The alphabet is
+    a function of the label count alone, so one compiled automaton serves
+    every width-k term.
+
+    Node ids are the binary tree's preorder; the i-th leaf in preorder is
+    graph vertex i, so a weight assignment on graph vertices transports to
+    the parse tree by reindexing through {!vertex_nodes}. *)
+
+val alphabet : labels:int -> string list
+(** All letters for width-[labels] terms, in a fixed order. *)
+
+val letter_vertex : int -> string
+val letter_union : string
+val letter_eta : int -> int -> string
+val letter_rho : int -> int -> string
+
+val to_tree : labels:int -> Cw_term.t -> Btree.t
+(** @raise Invalid_argument if the term uses a label >= labels. *)
+
+val vertex_nodes : Btree.t -> int array
+(** [vertex_nodes t].(i) = parse-tree node of graph vertex i (the i-th
+    vertex leaf in preorder). *)
+
+val vertex_weights : Btree.t -> Weighted.t -> Weighted.t
+(** Transport a weight assignment on graph vertex ids to one on parse-tree
+    node ids. *)
+
+val weights_to_graph : Btree.t -> Weighted.t -> Weighted.t
+(** The inverse transport (parse-tree node ids -> vertex ids). *)

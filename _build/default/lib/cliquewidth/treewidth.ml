@@ -1,0 +1,138 @@
+module Iset = Set.Make (Int)
+
+type t = { bags : int list array; edges : (int * int) list }
+
+let width t =
+  Array.fold_left (fun acc bag -> max acc (List.length bag - 1)) 0 t.bags
+
+let validate g t =
+  let n = Structure.size g in
+  let nbags = Array.length t.bags in
+  let in_bag = Array.make n [] in
+  Array.iteri
+    (fun b bag -> List.iter (fun v -> in_bag.(v) <- b :: in_bag.(v)) bag)
+    t.bags;
+  (* 1. Every element occurs. *)
+  let missing = List.filter (fun v -> in_bag.(v) = []) (Structure.universe g) in
+  if missing <> [] then Error "element in no bag"
+  else begin
+    (* The bag tree must be a tree (or forest matching bag count). *)
+    let ok_edges =
+      List.for_all (fun (a, b) -> a >= 0 && a < nbags && b >= 0 && b < nbags) t.edges
+    in
+    if not ok_edges then Error "bag edge out of range"
+    else begin
+      let adj = Array.make nbags [] in
+      List.iter
+        (fun (a, b) ->
+          adj.(a) <- b :: adj.(a);
+          adj.(b) <- a :: adj.(b))
+        t.edges;
+      (* acyclicity: |edges| = nbags - #components *)
+      let seen = Array.make nbags false in
+      let comps = ref 0 in
+      for b = 0 to nbags - 1 do
+        if not seen.(b) then begin
+          incr comps;
+          let q = Queue.create () in
+          Queue.add b q;
+          seen.(b) <- true;
+          while not (Queue.is_empty q) do
+            let x = Queue.pop q in
+            List.iter
+              (fun y ->
+                if not seen.(y) then begin
+                  seen.(y) <- true;
+                  Queue.add y q
+                end)
+              adj.(x)
+          done
+        end
+      done;
+      if List.length t.edges <> nbags - !comps then Error "bag graph has a cycle"
+      else begin
+        (* 2. Every Gaifman edge inside some bag. *)
+        let gf = Gaifman.of_structure g in
+        let covered u v =
+          List.exists (fun b -> List.mem v t.bags.(b)) in_bag.(u)
+        in
+        let bad_edge =
+          List.exists
+            (fun u -> List.exists (fun v -> not (covered u v)) (Gaifman.neighbors gf u))
+            (Structure.universe g)
+        in
+        if bad_edge then Error "edge covered by no bag"
+        else begin
+          (* 3. Occurrence connectivity per element. *)
+          let connected v =
+            let bags_v = Iset.of_list in_bag.(v) in
+            match in_bag.(v) with
+            | [] -> true
+            | b0 :: _ ->
+                let seen = ref (Iset.singleton b0) in
+                let q = Queue.create () in
+                Queue.add b0 q;
+                while not (Queue.is_empty q) do
+                  let x = Queue.pop q in
+                  List.iter
+                    (fun y ->
+                      if Iset.mem y bags_v && not (Iset.mem y !seen) then begin
+                        seen := Iset.add y !seen;
+                        Queue.add y q
+                      end)
+                    adj.(x)
+                done;
+                Iset.equal !seen bags_v
+          in
+          if List.for_all connected (Structure.universe g) then Ok ()
+          else Error "occurrence not connected"
+        end
+      end
+    end
+  end
+
+let by_min_degree g =
+  let n = Structure.size g in
+  let gf = Gaifman.of_structure g in
+  let adj = Array.init n (fun v -> Iset.of_list (Gaifman.neighbors gf v)) in
+  let alive = Array.make n true in
+  let order = Array.make n (-1) in
+  (* elimination index per vertex *)
+  let bags = Array.make n [] in
+  for step = 0 to n - 1 do
+    (* minimum fill-degree alive vertex *)
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if alive.(v)
+         && (!best < 0 || Iset.cardinal adj.(v) < Iset.cardinal adj.(!best))
+      then best := v
+    done;
+    let v = !best in
+    order.(v) <- step;
+    bags.(step) <- v :: Iset.elements adj.(v);
+    (* make the neighborhood a clique, drop v *)
+    Iset.iter
+      (fun a ->
+        Iset.iter
+          (fun b -> if a <> b then adj.(a) <- Iset.add b adj.(a))
+          adj.(v);
+        adj.(a) <- Iset.remove v adj.(a))
+      adj.(v);
+    alive.(v) <- false
+  done;
+  (* Bag of elimination step s attaches to the step of the earliest-
+     eliminated remaining member of its bag; last bags of components attach
+     to the final bag to keep one tree. *)
+  let edges = ref [] in
+  for s = 0 to n - 1 do
+    match bags.(s) with
+    | _v :: rest when rest <> [] ->
+        let next =
+          List.fold_left (fun acc u -> min acc order.(u)) max_int rest
+        in
+        edges := (s, next) :: !edges
+    | _ -> if s < n - 1 then edges := (s, n - 1) :: !edges
+  done;
+  { bags; edges = !edges }
+
+let heuristic_width g = width (by_min_degree g)

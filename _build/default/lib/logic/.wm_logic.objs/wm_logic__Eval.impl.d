@@ -1,0 +1,1 @@
+lib/logic/eval.ml: Array Fo List Map Relation String Structure Tuple

@@ -1,0 +1,1 @@
+lib/logic/locality.ml: Array Eval Fo Hashtbl List Map Neighborhood Option Printf Query Queue Stdlib String Structure

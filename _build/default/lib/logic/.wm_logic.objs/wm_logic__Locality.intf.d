@@ -1,0 +1,1 @@
+lib/logic/locality.mli: Fo Query Structure

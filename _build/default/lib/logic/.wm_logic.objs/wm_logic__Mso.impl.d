@@ -1,0 +1,1 @@
+lib/logic/mso.ml: Array Fo Format Fun Int List Map Option Relation Set String Structure Tuple

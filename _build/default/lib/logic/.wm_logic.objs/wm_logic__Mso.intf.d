@@ -1,0 +1,1 @@
+lib/logic/mso.mli: Fo Format Structure Tuple

@@ -1,0 +1,1 @@
+lib/logic/parser.ml: List Mso Printf Query String

@@ -1,0 +1,1 @@
+lib/logic/query.ml: Eval Fo Format List Neighborhood Set String Tuple Weighted

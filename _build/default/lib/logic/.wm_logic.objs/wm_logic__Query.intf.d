@@ -1,0 +1,1 @@
+lib/logic/query.mli: Fo Format Structure Tuple Weighted

@@ -1,0 +1,29 @@
+(** First-order model checking over finite structures.
+
+    The straightforward recursive evaluator: quantifiers range over the
+    whole universe, so checking a formula of quantifier rank q on a
+    structure of size n costs O(n^q) per assignment.  This is the semantics
+    substrate everything else is defined against; the experiment harness
+    reports its cost rather than hiding it. *)
+
+type env
+(** A partial assignment of variables to universe elements. *)
+
+val empty_env : env
+val bind : env -> string -> int -> env
+val bind_all : env -> string list -> Tuple.t -> env
+(** [bind_all env vars t] binds [vars] pointwise to the elements of [t];
+    lengths must agree. *)
+
+val lookup : env -> string -> int
+(** @raise Not_found on unbound variables. *)
+
+val holds : Structure.t -> env -> Fo.t -> bool
+(** [holds g env phi]: G |= phi under [env].  Every free variable of [phi]
+    must be bound.  @raise Not_found otherwise. *)
+
+val satisfying :
+  Structure.t -> env -> string list -> Fo.t -> Tuple.Set.t
+(** [satisfying g env vars phi] enumerates the assignments of [vars] making
+    [phi] true, as tuples in the order of [vars], with other free variables
+    taken from [env]. *)

@@ -1,0 +1,160 @@
+type t =
+  | True
+  | False
+  | Atom of string * string list
+  | Eq of string * string
+  | In of string * string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Exists of string * t
+  | Forall of string * t
+  | Exists_set of string * t
+  | Forall_set of string * t
+
+let rec of_fo (phi : Fo.t) : t =
+  match phi with
+  | True -> True
+  | False -> False
+  | Atom (r, vs) -> Atom (r, vs)
+  | Eq (x, y) -> Eq (x, y)
+  | Not a -> Not (of_fo a)
+  | And (a, b) -> And (of_fo a, of_fo b)
+  | Or (a, b) -> Or (of_fo a, of_fo b)
+  | Implies (a, b) -> Implies (of_fo a, of_fo b)
+  | Exists (x, a) -> Exists (x, of_fo a)
+  | Forall (x, a) -> Forall (x, of_fo a)
+
+let rec to_fo (phi : t) : Fo.t option =
+  let open Option in
+  let map2 f a b =
+    bind (to_fo a) (fun a -> bind (to_fo b) (fun b -> Some (f a b)))
+  in
+  match phi with
+  | True -> Some Fo.True
+  | False -> Some Fo.False
+  | Atom (r, vs) -> Some (Fo.Atom (r, vs))
+  | Eq (x, y) -> Some (Fo.Eq (x, y))
+  | In _ | Exists_set _ | Forall_set _ -> None
+  | Not a -> bind (to_fo a) (fun a -> Some (Fo.Not a))
+  | And (a, b) -> map2 (fun a b -> Fo.And (a, b)) a b
+  | Or (a, b) -> map2 (fun a b -> Fo.Or (a, b)) a b
+  | Implies (a, b) -> map2 (fun a b -> Fo.Implies (a, b)) a b
+  | Exists (x, a) -> bind (to_fo a) (fun a -> Some (Fo.Exists (x, a)))
+  | Forall (x, a) -> bind (to_fo a) (fun a -> Some (Fo.Forall (x, a)))
+
+module Svars = Set.Make (String)
+
+let rec fev = function
+  | True | False -> Svars.empty
+  | Atom (_, vs) -> Svars.of_list vs
+  | Eq (x, y) -> Svars.of_list [ x; y ]
+  | In (x, _) -> Svars.singleton x
+  | Not a -> fev a
+  | And (a, b) | Or (a, b) | Implies (a, b) -> Svars.union (fev a) (fev b)
+  | Exists (x, a) | Forall (x, a) -> Svars.remove x (fev a)
+  | Exists_set (_, a) | Forall_set (_, a) -> fev a
+
+let rec fsv = function
+  | True | False | Atom _ | Eq _ -> Svars.empty
+  | In (_, sx) -> Svars.singleton sx
+  | Not a -> fsv a
+  | And (a, b) | Or (a, b) | Implies (a, b) -> Svars.union (fsv a) (fsv b)
+  | Exists (_, a) | Forall (_, a) -> fsv a
+  | Exists_set (sx, a) | Forall_set (sx, a) -> Svars.remove sx (fsv a)
+
+let free_elem_vars phi = Svars.elements (fev phi)
+let free_set_vars phi = Svars.elements (fsv phi)
+
+module Smap = Map.Make (String)
+module Iset = Set.Make (Int)
+
+let holds g ~elems ~sets phi =
+  let n = Structure.size g in
+  let rec go (ev : int Smap.t) (sv : Iset.t Smap.t) = function
+    | True -> true
+    | False -> false
+    | Atom (r, vs) ->
+        let t = Tuple.of_list (List.map (fun x -> Smap.find x ev) vs) in
+        Relation.mem t (Structure.relation g r)
+    | Eq (x, y) -> Smap.find x ev = Smap.find y ev
+    | In (x, sx) -> Iset.mem (Smap.find x ev) (Smap.find sx sv)
+    | Not a -> not (go ev sv a)
+    | And (a, b) -> go ev sv a && go ev sv b
+    | Or (a, b) -> go ev sv a || go ev sv b
+    | Implies (a, b) -> (not (go ev sv a)) || go ev sv b
+    | Exists (x, a) ->
+        let rec loop v = v < n && (go (Smap.add x v ev) sv a || loop (v + 1)) in
+        loop 0
+    | Forall (x, a) ->
+        let rec loop v = v >= n || (go (Smap.add x v ev) sv a && loop (v + 1)) in
+        loop 0
+    | Exists_set (sx, a) ->
+        let rec loop mask =
+          if mask >= 1 lsl n then false
+          else
+            let s =
+              Iset.of_list
+                (List.filter (fun i -> (mask lsr i) land 1 = 1)
+                   (List.init n Fun.id))
+            in
+            go ev (Smap.add sx s sv) a || loop (mask + 1)
+        in
+        if n > 22 then invalid_arg "Mso.holds: structure too large for oracle";
+        loop 0
+    | Forall_set (sx, a) -> not (go ev sv (Exists_set (sx, Not a)))
+  in
+  let ev = List.fold_left (fun m (x, v) -> Smap.add x v m) Smap.empty elems in
+  let sv =
+    List.fold_left
+      (fun m (x, vs) -> Smap.add x (Iset.of_list vs) m)
+      Smap.empty sets
+  in
+  go ev sv phi
+
+let result_set g ~params ~results a phi =
+  if List.length params <> Array.length a then
+    invalid_arg "Mso.result_set: parameter arity mismatch";
+  let base = List.combine params (Array.to_list a) in
+  let n = Structure.size g in
+  let rec enum prefix = function
+    | [] ->
+        let b = Tuple.of_list (List.rev prefix) in
+        fun acc ->
+          let elems = base @ List.combine results (Array.to_list b) in
+          if holds g ~elems ~sets:[] phi then Tuple.Set.add b acc else acc
+    | _ :: rest ->
+        fun acc ->
+          let acc = ref acc in
+          for v = 0 to n - 1 do
+            acc := enum (v :: prefix) rest !acc
+          done;
+          !acc
+  in
+  enum [] results Tuple.Set.empty
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Atom (r, vs) -> Format.fprintf fmt "%s(%s)" r (String.concat "," vs)
+  | Eq (x, y) -> Format.fprintf fmt "%s = %s" x y
+  | In (x, sx) -> Format.fprintf fmt "%s in %s" x sx
+  | Not a -> Format.fprintf fmt "~%a" pp_negand a
+  | And (a, b) -> Format.fprintf fmt "%a & %a" pp_atomic a pp_atomic b
+  | Or (a, b) -> Format.fprintf fmt "%a | %a" pp_atomic a pp_atomic b
+  | Implies (a, b) -> Format.fprintf fmt "%a -> %a" pp_atomic a pp_atomic b
+  | Exists (x, a) -> Format.fprintf fmt "exists %s. %a" x pp a
+  | Forall (x, a) -> Format.fprintf fmt "forall %s. %a" x pp a
+  | Exists_set (x, a) -> Format.fprintf fmt "existsS %s. %a" x pp a
+  | Forall_set (x, a) -> Format.fprintf fmt "forallS %s. %a" x pp a
+
+and pp_atomic fmt phi =
+  match phi with
+  | True | False | Atom _ | Eq _ | In _ | Not _ -> pp fmt phi
+  | _ -> Format.fprintf fmt "(%a)" pp phi
+
+and pp_negand fmt phi =
+  match phi with
+  | True | False | Atom _ | Not _ -> pp fmt phi
+  | _ -> Format.fprintf fmt "(%a)" pp phi

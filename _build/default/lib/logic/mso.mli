@@ -1,0 +1,51 @@
+(** Monadic second-order logic and a naive evaluation oracle.
+
+    MSO extends FO with quantification over {e sets} of elements
+    (Section 1).  On trees MSO is the yardstick query language for XML
+    pattern queries; Lemma 2 compiles it to tree automata.  This module
+    provides the AST and a brute-force evaluator — it enumerates all 2^n
+    subsets per set quantifier, so it is strictly a specification/test
+    oracle against which the automaton pipeline of {!Wm_trees} is checked
+    (experiment E8).
+
+    Convention: set variables are any names; element and set variables live
+    in separate namespaces selected by the binder and by the [In] atom. *)
+
+type t =
+  | True
+  | False
+  | Atom of string * string list  (** R(x1,...,xk), element variables *)
+  | Eq of string * string
+  | In of string * string  (** x in X *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Exists of string * t  (** element quantifier *)
+  | Forall of string * t
+  | Exists_set of string * t
+  | Forall_set of string * t
+
+val of_fo : Fo.t -> t
+val to_fo : t -> Fo.t option
+(** [to_fo phi] is the FO image when [phi] has no set construct. *)
+
+val free_elem_vars : t -> string list
+val free_set_vars : t -> string list
+
+val holds :
+  Structure.t ->
+  elems:(string * int) list ->
+  sets:(string * int list) list ->
+  t ->
+  bool
+(** Brute-force model checking; set quantifiers enumerate all subsets of
+    the universe, so keep structures below ~18 elements. *)
+
+val result_set :
+  Structure.t -> params:string list -> results:string list ->
+  Tuple.t -> t -> Tuple.Set.t
+(** psi(a, G) for an MSO formula whose free element variables split into
+    parameters and results (no free set variables). *)
+
+val pp : Format.formatter -> t -> unit

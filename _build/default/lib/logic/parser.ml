@@ -1,0 +1,185 @@
+exception Error of string
+
+type token =
+  | Ident of string
+  | Lpar
+  | Rpar
+  | Comma
+  | Dot
+  | Amp
+  | Bar
+  | Tilde
+  | Arrow
+  | Equal
+  | Kw_true
+  | Kw_false
+  | Kw_exists
+  | Kw_forall
+  | Kw_exists_set
+  | Kw_forall_set
+  | Kw_in
+  | Eof
+
+let lex s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '\''
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then (toks := Lpar :: !toks; incr i)
+    else if c = ')' then (toks := Rpar :: !toks; incr i)
+    else if c = ',' then (toks := Comma :: !toks; incr i)
+    else if c = '.' then (toks := Dot :: !toks; incr i)
+    else if c = '&' then (toks := Amp :: !toks; incr i)
+    else if c = '|' then (toks := Bar :: !toks; incr i)
+    else if c = '~' then (toks := Tilde :: !toks; incr i)
+    else if c = '=' then (toks := Equal :: !toks; incr i)
+    else if c = '-' then begin
+      if !i + 1 < n && s.[!i + 1] = '>' then (toks := Arrow :: !toks; i := !i + 2)
+      else raise (Error (Printf.sprintf "unexpected '-' at offset %d" !i))
+    end
+    else if is_ident_char c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char s.[!j] do
+        incr j
+      done;
+      let word = String.sub s !i (!j - !i) in
+      i := !j;
+      let tok =
+        match word with
+        | "true" -> Kw_true
+        | "false" -> Kw_false
+        | "exists" -> Kw_exists
+        | "forall" -> Kw_forall
+        | "existsS" -> Kw_exists_set
+        | "forallS" -> Kw_forall_set
+        | "in" -> Kw_in
+        | w -> Ident w
+      in
+      toks := tok :: !toks
+    end
+    else raise (Error (Printf.sprintf "unexpected character %C at offset %d" c !i))
+  done;
+  List.rev (Eof :: !toks)
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> Eof | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else raise (Error (Printf.sprintf "expected %s" what))
+
+let ident st =
+  match peek st with
+  | Ident w ->
+      advance st;
+      w
+  | _ -> raise (Error "expected an identifier")
+
+let rec parse_formula st : Mso.t = parse_implies st
+
+and parse_implies st =
+  let lhs = parse_or st in
+  if peek st = Arrow then begin
+    advance st;
+    let rhs = parse_implies st in
+    Implies (lhs, rhs)
+  end
+  else lhs
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while peek st = Bar do
+    advance st;
+    lhs := Mso.Or (!lhs, parse_and st)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_unary st) in
+  while peek st = Amp do
+    advance st;
+    lhs := Mso.And (!lhs, parse_unary st)
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | Tilde ->
+      advance st;
+      Not (parse_unary st)
+  | Kw_exists -> parse_quant st (fun x a -> Mso.Exists (x, a))
+  | Kw_forall -> parse_quant st (fun x a -> Mso.Forall (x, a))
+  | Kw_exists_set -> parse_quant st (fun x a -> Mso.Exists_set (x, a))
+  | Kw_forall_set -> parse_quant st (fun x a -> Mso.Forall_set (x, a))
+  | _ -> parse_atom st
+
+and parse_quant st mk =
+  advance st;
+  let vars = ref [ ident st ] in
+  while (match peek st with Ident _ -> true | _ -> false) do
+    vars := ident st :: !vars
+  done;
+  expect st Dot "'.' after quantified variables";
+  let body = parse_formula st in
+  List.fold_left (fun acc x -> mk x acc) body !vars
+
+and parse_atom st =
+  match peek st with
+  | Kw_true ->
+      advance st;
+      True
+  | Kw_false ->
+      advance st;
+      False
+  | Lpar ->
+      advance st;
+      let f = parse_formula st in
+      expect st Rpar "')'";
+      f
+  | Ident w -> begin
+      advance st;
+      match peek st with
+      | Lpar ->
+          advance st;
+          let args = ref [ ident st ] in
+          while peek st = Comma do
+            advance st;
+            args := ident st :: !args
+          done;
+          expect st Rpar "')' closing atom";
+          Atom (w, List.rev !args)
+      | Equal ->
+          advance st;
+          Eq (w, ident st)
+      | Kw_in ->
+          advance st;
+          In (w, ident st)
+      | _ -> raise (Error (Printf.sprintf "dangling identifier %S" w))
+    end
+  | _ -> raise (Error "expected an atom")
+
+let mso_of_string s =
+  let st = { toks = lex s } in
+  let f = parse_formula st in
+  if peek st <> Eof then raise (Error "trailing input after formula");
+  f
+
+let fo_of_string s =
+  match Mso.to_fo (mso_of_string s) with
+  | Some f -> f
+  | None -> raise (Error "formula uses second-order constructs")
+
+let query_of_string ~params ~results s =
+  Query.make ~params ~results (fo_of_string s)

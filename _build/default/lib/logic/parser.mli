@@ -1,0 +1,34 @@
+(** Concrete syntax for formulas.
+
+    A small hand-rolled recursive-descent parser so the CLI and the tests
+    can state queries as text.  Grammar (lowest to highest precedence):
+
+    {v
+    formula  ::= implies
+    implies  ::= or ('->' implies)?
+    or       ::= and ('|' and)*
+    and      ::= unary ('&' unary)*
+    unary    ::= '~' unary | quantifier | atom
+    quantifier ::= ('exists' | 'forall') ident ident* '.' formula
+                 | ('existsS' | 'forallS') ident ident* '.' formula
+    atom     ::= 'true' | 'false' | '(' formula ')'
+               | ident '(' ident (',' ident)* ')'
+               | ident '=' ident
+               | ident 'in' ident
+    v}
+
+    Quantifying several variables at once nests binders left to right. *)
+
+exception Error of string
+(** Raised with a human-readable message on syntax errors. *)
+
+val mso_of_string : string -> Mso.t
+(** Parse an MSO formula. @raise Error on bad input. *)
+
+val fo_of_string : string -> Fo.t
+(** Parse, then require the result to be first-order.
+    @raise Error when the text uses set quantifiers or membership. *)
+
+val query_of_string :
+  params:string list -> results:string list -> string -> Query.t
+(** Parse an FO formula and wrap it as a parametric query. *)

@@ -1,0 +1,1 @@
+lib/relational/gaifman.ml: Array Int List Queue Relation Set Structure

@@ -1,0 +1,1 @@
+lib/relational/iso.ml: Array Gaifman Hashtbl List Queue Relation Structure

@@ -1,0 +1,1 @@
+lib/relational/neighborhood.ml: Array Gaifman Hashtbl Iso List Structure Tuple

@@ -1,0 +1,1 @@
+lib/relational/neighborhood.mli: Gaifman Structure Tuple

@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/relational/structure.ml: Array Format Fun Hashtbl List Map Relation Schema String Tuple

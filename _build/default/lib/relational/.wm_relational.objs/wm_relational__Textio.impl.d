@@ -1,0 +1,1 @@
+lib/relational/textio.ml: Array Buffer Fun List Printf Relation Schema String Structure Tuple Weighted

@@ -1,0 +1,1 @@
+lib/relational/textio.mli: Weighted

@@ -1,0 +1,1 @@
+lib/relational/weighted.ml: Array Format List Schema Structure Tuple

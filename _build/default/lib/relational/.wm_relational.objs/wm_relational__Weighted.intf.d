@@ -1,0 +1,1 @@
+lib/relational/weighted.mli: Format Structure Tuple

@@ -1,0 +1,92 @@
+type t = { adj : int array array }
+
+module Iset = Set.Make (Int)
+
+let of_structure g =
+  let n = Structure.size g in
+  let sets = Array.make n Iset.empty in
+  let add_edge a b =
+    if a <> b then begin
+      sets.(a) <- Iset.add b sets.(a);
+      sets.(b) <- Iset.add a sets.(b)
+    end
+  in
+  Structure.fold_relations
+    (fun _ r () ->
+      Relation.iter
+        (fun t ->
+          let k = Array.length t in
+          for i = 0 to k - 1 do
+            for j = i + 1 to k - 1 do
+              add_edge t.(i) t.(j)
+            done
+          done)
+        r)
+    g ();
+  { adj = Array.map (fun s -> Array.of_list (Iset.elements s)) sets }
+
+let size g = Array.length g.adj
+
+let neighbors g a = Array.to_list g.adj.(a)
+
+let degree g a = Array.length g.adj.(a)
+
+let max_degree g =
+  Array.fold_left (fun acc row -> max acc (Array.length row)) 0 g.adj
+
+(* BFS from [a], visiting nodes at distance <= bound (or all if bound < 0);
+   calls [visit node dist] once per reached node, in distance order. *)
+let bfs g a ~bound visit =
+  let n = size g in
+  let dist = Array.make n (-1) in
+  let q = Queue.create () in
+  dist.(a) <- 0;
+  Queue.add a q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    visit u dist.(u);
+    if bound < 0 || dist.(u) < bound then
+      Array.iter
+        (fun v ->
+          if dist.(v) < 0 then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end)
+        g.adj.(u)
+  done;
+  dist
+
+let distance g a b =
+  if a = b then Some 0
+  else
+    let dist = bfs g a ~bound:(-1) (fun _ _ -> ()) in
+    if dist.(b) < 0 then None else Some dist.(b)
+
+let sphere g ~rho a =
+  let acc = ref [] in
+  ignore (bfs g a ~bound:rho (fun u _ -> acc := u :: !acc));
+  List.sort compare !acc
+
+let sphere_tuple g ~rho t =
+  let s =
+    Array.fold_left
+      (fun acc a -> Iset.union acc (Iset.of_list (sphere g ~rho a)))
+      Iset.empty t
+  in
+  Iset.elements s
+
+let connected_components g =
+  let n = size g in
+  let seen = Array.make n false in
+  let comps = ref [] in
+  for a = 0 to n - 1 do
+    if not seen.(a) then begin
+      let comp = ref [] in
+      ignore
+        (bfs g a ~bound:(-1) (fun u _ ->
+             seen.(u) <- true;
+             comp := u :: !comp));
+      comps := List.sort compare !comp :: !comps
+    end
+  done;
+  List.rev !comps

@@ -1,0 +1,32 @@
+(** Gaifman graphs, distances, spheres (Section 3).
+
+    Two elements are adjacent in the Gaifman graph of G iff they co-occur in
+    some tuple of some relation.  The locality machinery of Theorem 3 (and
+    the class STRUCT_k of structures with Gaifman graph of degree <= k)
+    lives on top of this module. *)
+
+type t
+(** An adjacency-list view of the Gaifman graph of one structure. *)
+
+val of_structure : Structure.t -> t
+
+val size : t -> int
+
+val neighbors : t -> int -> int list
+(** Sorted, without self-loops or duplicates. *)
+
+val degree : t -> int -> int
+
+val max_degree : t -> int
+(** The k for which the structure belongs to STRUCT_k (0 for edgeless). *)
+
+val distance : t -> int -> int -> int option
+(** BFS distance; [None] when disconnected (the paper's d(a,b) = infinity). *)
+
+val sphere : t -> rho:int -> int -> int list
+(** [sphere g ~rho a] is S_rho(a) = elements at distance <= rho, sorted. *)
+
+val sphere_tuple : t -> rho:int -> Tuple.t -> int list
+(** S_rho of a tuple: union of the element spheres, sorted. *)
+
+val connected_components : t -> int list list

@@ -1,0 +1,180 @@
+(* Exact isomorphism by backtracking, with color-refinement invariants used
+   both for candidate pruning and for the stand-alone certificate. *)
+
+let initial_colors g dist =
+  let n = Structure.size g in
+  let dist_ix = Array.make n (-1) in
+  List.iteri (fun i a -> dist_ix.(a) <- i) dist;
+  let incid = Array.make n [] in
+  Structure.fold_relations
+    (fun name r () ->
+      Relation.iter
+        (fun t ->
+          Array.iteri
+            (fun pos a -> incid.(a) <- (name, pos) :: incid.(a))
+            t)
+        r)
+    g ();
+  Array.init n (fun a ->
+      Hashtbl.hash (dist_ix.(a), List.sort compare incid.(a)))
+
+let refine gf colors =
+  let n = Array.length colors in
+  Array.init n (fun a ->
+      let ns = List.map (fun b -> colors.(b)) (Gaifman.neighbors gf a) in
+      Hashtbl.hash (colors.(a), List.sort compare ns))
+
+let stable_colors g dist =
+  let gf = Gaifman.of_structure g in
+  let n = Structure.size g in
+  let rec go colors k =
+    if k = 0 then colors
+    else
+      let colors' = refine gf colors in
+      if colors' = colors then colors else go colors' (k - 1)
+  in
+  go (initial_colors g dist) (max 1 n)
+
+let certificate g dist =
+  let colors = stable_colors g dist in
+  let census = Array.to_list colors |> List.sort compare in
+  let rel_sizes =
+    Structure.fold_relations
+      (fun name r acc -> (name, Relation.cardinal r) :: acc)
+      g []
+    |> List.sort compare
+  in
+  let dist_colors = List.map (fun a -> colors.(a)) dist in
+  Hashtbl.hash (Structure.size g, rel_sizes, census, dist_colors)
+
+let isomorphic ga da gb db =
+  let n = Structure.size ga in
+  if n <> Structure.size gb || List.length da <> List.length db then false
+  else begin
+    let ca = stable_colors ga da and cb = stable_colors gb db in
+    let census c = List.sort compare (Array.to_list c) in
+    if census ca <> census cb then false
+    else begin
+      let rel_names =
+        Structure.fold_relations (fun name _ acc -> name :: acc) ga []
+      in
+      let sizes_ok =
+        List.for_all
+          (fun name ->
+            Relation.cardinal (Structure.relation ga name)
+            = Relation.cardinal (Structure.relation gb name))
+          rel_names
+      in
+      if not sizes_ok then false
+      else begin
+        (* Forced images of distinguished elements; duplicates in [da] must
+           repeat consistently in [db] and images must be distinct. *)
+        let forced = Hashtbl.create 8 in
+        let forced_ok =
+          List.for_all2
+            (fun a b ->
+              match Hashtbl.find_opt forced a with
+              | Some b' -> b = b'
+              | None ->
+                  if Hashtbl.fold (fun _ v acc -> acc || v = b) forced false
+                  then false
+                  else begin
+                    Hashtbl.add forced a b;
+                    true
+                  end)
+            da db
+        in
+        if not forced_ok then false
+        else begin
+        (* Tuples of A indexed by their highest-ordered element so we check a
+           tuple exactly once, as soon as it becomes fully mapped. *)
+        let map = Array.make n (-1) in
+        let used = Array.make n false in
+        let order = Array.make n (-1) in
+        (* Order: distinguished first, then a BFS-ish sweep to keep partial
+           maps connected when possible. *)
+        let pos = ref 0 in
+        let placed = Array.make n false in
+        List.iter
+          (fun a ->
+            if not placed.(a) then begin
+              order.(!pos) <- a;
+              placed.(a) <- true;
+              incr pos
+            end)
+          da;
+        let gfa = Gaifman.of_structure ga in
+        let queue = Queue.create () in
+        List.iter (fun a -> Queue.add a queue) da;
+        while not (Queue.is_empty queue) do
+          let u = Queue.pop queue in
+          List.iter
+            (fun v ->
+              if not placed.(v) then begin
+                order.(!pos) <- v;
+                placed.(v) <- true;
+                incr pos;
+                Queue.add v queue
+              end)
+            (Gaifman.neighbors gfa u)
+        done;
+        for a = 0 to n - 1 do
+          if not placed.(a) then begin
+            order.(!pos) <- a;
+            placed.(a) <- true;
+            incr pos
+          end
+        done;
+        let order_ix = Array.make n (-1) in
+        Array.iteri (fun i a -> order_ix.(a) <- i) order;
+        (* tuples_at.(i): tuples of A whose latest element (in order) is
+           order.(i), paired with their relation. *)
+        let tuples_at = Array.make n [] in
+        Structure.fold_relations
+          (fun name r () ->
+            Relation.iter
+              (fun t ->
+                let last =
+                  Array.fold_left (fun acc x -> max acc order_ix.(x)) (-1) t
+                in
+                tuples_at.(last) <- (name, t) :: tuples_at.(last))
+              r)
+          ga ();
+        let rec extend i =
+          if i = n then true
+          else
+            let a = order.(i) in
+            let candidates =
+              match Hashtbl.find_opt forced a with
+              | Some b -> [ b ]
+              | None -> Structure.universe gb
+            in
+            List.exists
+              (fun b ->
+                (not used.(b))
+                && ca.(a) = cb.(b)
+                &&
+                begin
+                  map.(a) <- b;
+                  used.(b) <- true;
+                  let ok =
+                    List.for_all
+                      (fun (name, t) ->
+                        let img = Array.map (fun x -> map.(x)) t in
+                        Relation.mem img (Structure.relation gb name))
+                      tuples_at.(i)
+                  in
+                  let ok = ok && extend (i + 1) in
+                  if not ok then begin
+                    map.(a) <- -1;
+                    used.(b) <- false
+                  end;
+                  ok
+                end)
+              candidates
+        in
+        extend 0
+        end
+      end
+    end
+  end

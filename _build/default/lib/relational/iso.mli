@@ -1,0 +1,22 @@
+(** Isomorphism of small structures with distinguished elements.
+
+    Neighborhood equivalence a ~rho b (Section 3) is isomorphism of the
+    neighborhoods N_rho(a) and N_rho(b), where the i-th distinguished
+    element of one must map to the i-th of the other.  Bounded-degree
+    spheres are small, so a certificate-bucketed backtracking search is
+    exact and fast enough; the certificate (iterated color refinement) is
+    sound — isomorphic inputs always get equal certificates — and is used
+    to avoid the quadratic number of pairwise tests when typing all
+    parameters. *)
+
+val isomorphic :
+  Structure.t -> int list -> Structure.t -> int list -> bool
+(** [isomorphic a da b db] decides whether there is an isomorphism of [a]
+    onto [b] mapping the i-th element of [da] to the i-th of [db].  The two
+    structures must share a schema; distinguished lists must have equal
+    lengths. *)
+
+val certificate : Structure.t -> int list -> int
+(** Refinement-based invariant of [(structure, distinguished)] up to
+    isomorphism: equal for isomorphic inputs, usually different
+    otherwise. *)

@@ -1,0 +1,87 @@
+type nbh = {
+  sub : Structure.t;
+  center : int list;
+  original : int array;
+}
+
+let of_tuple g gf ~rho c =
+  let sphere = Gaifman.sphere_tuple gf ~rho c in
+  (* Put the tuple's own elements first so their new ids are stable. *)
+  let sub, original = Structure.induced g (Array.to_list c @ sphere) in
+  let new_id = Hashtbl.create 16 in
+  Array.iteri (fun nw old -> Hashtbl.replace new_id old nw) original;
+  let center = List.map (Hashtbl.find new_id) (Array.to_list c) in
+  { sub; center; original }
+
+let equivalent g gf ~rho a b =
+  let na = of_tuple g gf ~rho a and nb = of_tuple g gf ~rho b in
+  Iso.isomorphic na.sub na.center nb.sub nb.center
+
+type index = {
+  rho : int;
+  types : int Tuple.Map.t;
+  representatives : Tuple.t array;
+}
+
+let all_tuples g ~arity =
+  let n = Structure.size g in
+  let rec go k acc =
+    if k = 0 then acc
+    else
+      go (k - 1)
+        (List.concat_map
+           (fun rest -> List.init n (fun x -> x :: rest))
+           acc)
+  in
+  List.map Tuple.of_list (go arity [ [] ])
+
+let index g ~rho tuples =
+  let gf = Gaifman.of_structure g in
+  (* Buckets keyed by certificate; each bucket holds a list of
+     (type id, representative neighborhood, representative tuple). *)
+  let buckets : (int, (int * nbh) list ref) Hashtbl.t = Hashtbl.create 64 in
+  let reps = ref [] in
+  let next_ty = ref 0 in
+  let types =
+    List.fold_left
+      (fun acc c ->
+        if Tuple.Map.mem c acc then acc
+        else
+          let nb = of_tuple g gf ~rho c in
+          let cert = Iso.certificate nb.sub nb.center in
+          let bucket =
+            match Hashtbl.find_opt buckets cert with
+            | Some b -> b
+            | None ->
+                let b = ref [] in
+                Hashtbl.add buckets cert b;
+                b
+          in
+          let ty =
+            match
+              List.find_opt
+                (fun (_, rep) ->
+                  Iso.isomorphic nb.sub nb.center rep.sub rep.center)
+                !bucket
+            with
+            | Some (ty, _) -> ty
+            | None ->
+                let ty = !next_ty in
+                incr next_ty;
+                bucket := (ty, nb) :: !bucket;
+                reps := c :: !reps;
+                ty
+          in
+          Tuple.Map.add c ty acc)
+      Tuple.Map.empty tuples
+  in
+  { rho; types; representatives = Array.of_list (List.rev !reps) }
+
+let index_universe g ~rho ~arity = index g ~rho (all_tuples g ~arity)
+
+let ntp ix = Array.length ix.representatives
+
+let type_of ix c =
+  match Tuple.Map.find_opt c ix.types with
+  | Some ty -> ty
+  | None -> raise Not_found

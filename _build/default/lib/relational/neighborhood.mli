@@ -1,0 +1,45 @@
+(** rho-neighborhoods and isomorphism types (Section 3).
+
+    N_rho(c) is the substructure induced on the sphere S_rho(c), with the
+    elements of the tuple c as distinguished constants.  Two tuples are
+    ~rho-equivalent iff their neighborhoods are isomorphic; ntp(rho, G)
+    counts the equivalence classes.  The local watermarking scheme picks one
+    {e canonical parameter} per class (Theorem 3). *)
+
+type nbh = {
+  sub : Structure.t;  (** the induced substructure, renamed to 0..k-1 *)
+  center : int list;  (** images of the tuple's elements in [sub] *)
+  original : int array;  (** renaming: [original.(new_id) = old element] *)
+}
+
+val of_tuple : Structure.t -> Gaifman.t -> rho:int -> Tuple.t -> nbh
+(** Materializes N_rho(c). *)
+
+val equivalent :
+  Structure.t -> Gaifman.t -> rho:int -> Tuple.t -> Tuple.t -> bool
+(** The ~rho relation: isomorphism of the two neighborhoods. *)
+
+type index = {
+  rho : int;
+  types : int Tuple.Map.t;  (** type id of every indexed tuple *)
+  representatives : Tuple.t array;  (** representatives.(ty) has type ty *)
+}
+(** A computed type index over a set of tuples: type ids are dense in
+    [0 .. ntp-1] and [representatives] realizes the paper's canonical
+    parameter set S. *)
+
+val index : Structure.t -> rho:int -> Tuple.t list -> index
+(** Types every listed tuple, bucketing by {!Iso.certificate} and verifying
+    with exact isomorphism inside buckets. *)
+
+val index_universe : Structure.t -> rho:int -> arity:int -> index
+(** Types all of U^arity. *)
+
+val ntp : index -> int
+(** Number of types = |S|. *)
+
+val type_of : index -> Tuple.t -> int
+(** @raise Not_found if the tuple was not indexed. *)
+
+val all_tuples : Structure.t -> arity:int -> Tuple.t list
+(** U^arity in lexicographic order (helper shared with the evaluator). *)

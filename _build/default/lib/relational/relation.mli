@@ -1,0 +1,44 @@
+(** Finite relations: sets of equal-arity tuples. *)
+
+type t
+
+val empty : int -> t
+(** [empty arity] is the empty relation of the given arity. *)
+
+val arity : t -> int
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val mem : Tuple.t -> t -> bool
+val add : Tuple.t -> t -> t
+(** @raise Invalid_argument if the tuple's arity differs. *)
+
+val remove : Tuple.t -> t -> t
+
+val of_list : int -> Tuple.t list -> t
+val of_pairs : (int * int) list -> t
+(** Convenience builder for binary relations. *)
+
+val to_list : t -> Tuple.t list
+(** Ascending tuple order. *)
+
+val iter : (Tuple.t -> unit) -> t -> unit
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val filter : (Tuple.t -> bool) -> t -> t
+val for_all : (Tuple.t -> bool) -> t -> bool
+val exists : (Tuple.t -> bool) -> t -> bool
+
+val union : t -> t -> t
+val equal : t -> t -> bool
+
+val restrict : (int -> bool) -> t -> t
+(** [restrict keep r] keeps the tuples all of whose elements satisfy [keep]
+    — the relation part of an induced substructure. *)
+
+val rename : (int -> int) -> t -> t
+(** Applies an element renaming to every tuple. *)
+
+val max_elt : t -> int
+(** Largest element mentioned, -1 if empty. *)
+
+val pp : Format.formatter -> t -> unit

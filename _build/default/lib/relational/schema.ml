@@ -1,0 +1,35 @@
+type symbol = { name : string; arity : int }
+
+type t = { symbols : symbol list; weight_arity : int }
+
+let make ?(weight_arity = 1) symbols =
+  if weight_arity < 1 then invalid_arg "Schema.make: weight_arity < 1";
+  List.iter
+    (fun s -> if s.arity < 1 then invalid_arg "Schema.make: arity < 1")
+    symbols;
+  let names = List.map (fun s -> s.name) symbols in
+  let sorted = List.sort_uniq String.compare names in
+  if List.length sorted <> List.length names then
+    invalid_arg "Schema.make: duplicate symbol name";
+  { symbols; weight_arity }
+
+let symbols t = t.symbols
+let weight_arity t = t.weight_arity
+
+let arity_of t name =
+  match List.find_opt (fun s -> s.name = name) t.symbols with
+  | Some s -> s.arity
+  | None -> raise Not_found
+
+let mem t name = List.exists (fun s -> s.name = name) t.symbols
+
+let graph = make [ { name = "E"; arity = 2 } ]
+
+let travel =
+  make [ { name = "Route"; arity = 2 }; { name = "Timetable"; arity = 4 } ]
+
+let pp fmt t =
+  Format.fprintf fmt "{%s; s=%d}"
+    (String.concat ", "
+       (List.map (fun s -> Printf.sprintf "%s/%d" s.name s.arity) t.symbols))
+    t.weight_arity

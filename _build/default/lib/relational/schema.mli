@@ -1,0 +1,32 @@
+(** Database schemas (signatures).
+
+    A signature tau is a finite set of relation symbols with arities
+    (Section 1).  The schema additionally fixes the weight arity [s]: the
+    arity of the tuples the weight assignment W : U^s -> N is defined on.
+    In all the paper's examples s = 1 (weights sit on single elements,
+    e.g. the [duration] of a transport), but the machinery is generic. *)
+
+type symbol = { name : string; arity : int }
+
+type t
+
+val make : ?weight_arity:int -> symbol list -> t
+(** [make symbols] builds a schema.  Symbol names must be distinct and
+    arities positive; [weight_arity] defaults to 1. *)
+
+val symbols : t -> symbol list
+val weight_arity : t -> int
+
+val arity_of : t -> string -> int
+(** Arity of a named symbol.  @raise Not_found on unknown names. *)
+
+val mem : t -> string -> bool
+
+val graph : t
+(** The schema of plain graphs: one binary symbol ["E"], weight arity 1. *)
+
+val travel : t
+(** The schema of the paper's Example 1: binary ["Route"] and 4-ary
+    ["Timetable"], weight arity 1 (weights on transports). *)
+
+val pp : Format.formatter -> t -> unit

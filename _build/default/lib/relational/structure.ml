@@ -1,0 +1,103 @@
+module Smap = Map.Make (String)
+
+type t = {
+  schema : Schema.t;
+  size : int;
+  names : string array option;
+  rels : Relation.t Smap.t;
+}
+
+let create ?names schema size =
+  if size < 0 then invalid_arg "Structure.create: negative size";
+  (match names with
+  | Some a when Array.length a <> size ->
+      invalid_arg "Structure.create: names length mismatch"
+  | _ -> ());
+  let rels =
+    List.fold_left
+      (fun m (s : Schema.symbol) -> Smap.add s.name (Relation.empty s.arity) m)
+      Smap.empty (Schema.symbols schema)
+  in
+  { schema; size; names; rels }
+
+let schema g = g.schema
+let size g = g.size
+
+let universe g = List.init g.size Fun.id
+
+let name_of g i =
+  match g.names with Some a -> a.(i) | None -> string_of_int i
+
+let elt_of_name g name =
+  match g.names with
+  | None -> raise Not_found
+  | Some a ->
+      let rec go i =
+        if i = Array.length a then raise Not_found
+        else if a.(i) = name then i
+        else go (i + 1)
+      in
+      go 0
+
+let relation g name =
+  match Smap.find_opt name g.rels with
+  | Some r -> r
+  | None -> raise Not_found
+
+let check_tuple g t =
+  if Array.exists (fun x -> x < 0 || x >= g.size) t then
+    invalid_arg "Structure.add_tuple: element out of range"
+
+let add_tuple g name t =
+  check_tuple g t;
+  let r = relation g name in
+  { g with rels = Smap.add name (Relation.add t r) g.rels }
+
+let add_pairs g name ps =
+  List.fold_left (fun g (a, b) -> add_tuple g name (Tuple.pair a b)) g ps
+
+let set_relation g name r =
+  if not (Schema.mem g.schema name) then raise Not_found;
+  if Relation.arity r <> Schema.arity_of g.schema name then
+    invalid_arg "Structure.set_relation: arity mismatch";
+  Relation.iter (check_tuple g) r;
+  { g with rels = Smap.add name r g.rels }
+
+let fold_relations f g acc = Smap.fold f g.rels acc
+
+let tuples_count g =
+  fold_relations (fun _ r acc -> acc + Relation.cardinal r) g 0
+
+let induced g sub =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun x ->
+      if not (Hashtbl.mem seen x) then begin
+        Hashtbl.add seen x (Hashtbl.length seen);
+        order := x :: !order
+      end)
+    sub;
+  let old = Array.of_list (List.rev !order) in
+  let k = Array.length old in
+  let names =
+    match g.names with
+    | None -> None
+    | Some a -> Some (Array.map (fun o -> a.(o)) old)
+  in
+  let keep x = Hashtbl.mem seen x in
+  let rename x = Hashtbl.find seen x in
+  let rels =
+    Smap.map (fun r -> Relation.rename rename (Relation.restrict keep r)) g.rels
+  in
+  ({ schema = g.schema; size = k; names; rels }, old)
+
+let equal a b =
+  a.size = b.size && Smap.equal Relation.equal a.rels b.rels
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>universe: %d elements@," g.size;
+  Smap.iter
+    (fun name r -> Format.fprintf fmt "%s: %a@," name Relation.pp r)
+    g.rels;
+  Format.fprintf fmt "@]"

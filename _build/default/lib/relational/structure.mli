@@ -1,0 +1,50 @@
+(** Finite structures (database instances).
+
+    A structure interprets every relation symbol of a schema over the finite
+    universe [{0, ..., size-1}].  Elements can optionally carry display names
+    (["India discovery"], ["F21"], ...) so the worked examples of the paper
+    print exactly like its tables; names never influence semantics. *)
+
+type t
+
+val create : ?names:string array -> Schema.t -> int -> t
+(** [create schema size] is the structure with empty relations.  When given,
+    [names] must have length [size]. *)
+
+val schema : t -> Schema.t
+val size : t -> int
+(** Universe cardinality. *)
+
+val universe : t -> int list
+(** [0; ...; size-1]. *)
+
+val name_of : t -> int -> string
+(** Display name; defaults to the decimal element id. *)
+
+val elt_of_name : t -> string -> int
+(** Inverse lookup. @raise Not_found if no element has that name. *)
+
+val relation : t -> string -> Relation.t
+(** Interpretation of a symbol. @raise Not_found on unknown symbols. *)
+
+val add_tuple : t -> string -> Tuple.t -> t
+(** Functional update; validates arity and element range. *)
+
+val add_pairs : t -> string -> (int * int) list -> t
+
+val set_relation : t -> string -> Relation.t -> t
+
+val fold_relations : (string -> Relation.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val tuples_count : t -> int
+(** Total number of tuples across all relations. *)
+
+val induced : t -> int list -> t * int array
+(** [induced g sub] is the substructure induced on the (deduplicated)
+    elements of [sub], renamed to [0 .. k-1] in the order given, together
+    with the renaming table [old.(new_id) = old_id].  Keeps the schema. *)
+
+val equal : t -> t -> bool
+(** Same size and identical relation interpretations (names ignored). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,127 @@
+exception Format_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
+
+let to_string (ws : Weighted.structure) =
+  let g = ws.Weighted.graph in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "# qpwm weighted structure\n";
+  add "schema %s\n"
+    (String.concat " "
+       (List.map
+          (fun (s : Schema.symbol) -> Printf.sprintf "%s/%d" s.name s.arity)
+          (Schema.symbols (Structure.schema g))));
+  add "weight_arity %d\n" (Schema.weight_arity (Structure.schema g));
+  add "size %d\n" (Structure.size g);
+  List.iter
+    (fun x ->
+      let n = Structure.name_of g x in
+      if n <> string_of_int x then add "name %d %s\n" x n)
+    (Structure.universe g);
+  Structure.fold_relations
+    (fun name r () ->
+      Relation.iter
+        (fun t ->
+          add "rel %s %s\n" name
+            (String.concat " " (List.map string_of_int (Tuple.to_list t))))
+        r)
+    g ();
+  List.iter
+    (fun (t, v) ->
+      add "weight %s %d\n"
+        (String.concat " " (List.map string_of_int (Tuple.to_list t)))
+        v)
+    (Weighted.bindings ws.Weighted.weights);
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let schema = ref None in
+  let weight_arity = ref 1 in
+  let size = ref None in
+  let names = ref [] in
+  let rels = ref [] in
+  let weights = ref [] in
+  let int_of s =
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> fail "not an integer: %S" s
+  in
+  List.iteri
+    (fun lineno line ->
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let line = String.trim line in
+      if line <> "" then begin
+        let words = String.split_on_char ' ' line |> List.filter (( <> ) "") in
+        match words with
+        | "schema" :: syms ->
+            let parse_sym s =
+              match String.split_on_char '/' s with
+              | [ name; ar ] -> { Schema.name; arity = int_of ar }
+              | _ -> fail "line %d: bad symbol %S" (lineno + 1) s
+            in
+            schema := Some (List.map parse_sym syms)
+        | [ "weight_arity"; a ] -> weight_arity := int_of a
+        | [ "size"; n ] -> size := Some (int_of n)
+        | "name" :: x :: rest ->
+            names := (int_of x, String.concat " " rest) :: !names
+        | "rel" :: name :: elts ->
+            rels := (name, List.map int_of elts) :: !rels
+        | "weight" :: parts -> begin
+            match List.rev parts with
+            | v :: rev_t ->
+                weights := (List.rev_map int_of rev_t, int_of v) :: !weights
+            | [] -> fail "line %d: empty weight" (lineno + 1)
+          end
+        | _ -> fail "line %d: unknown directive %S" (lineno + 1) line
+      end)
+    lines;
+  let symbols = match !schema with Some s -> s | None -> fail "missing schema" in
+  let size = match !size with Some n -> n | None -> fail "missing size" in
+  let schema = Schema.make ~weight_arity:!weight_arity symbols in
+  let name_arr =
+    if !names = [] then None
+    else begin
+      let a = Array.init size string_of_int in
+      List.iter
+        (fun (x, n) ->
+          if x < 0 || x >= size then fail "name index %d out of range" x;
+          a.(x) <- n)
+        !names;
+      Some a
+    end
+  in
+  let g = ref (Structure.create ?names:name_arr schema size) in
+  List.iter
+    (fun (name, elts) ->
+      match Structure.add_tuple !g name (Tuple.of_list elts) with
+      | g' -> g := g'
+      | exception Not_found -> fail "unknown relation %S" name
+      | exception Invalid_argument m -> fail "bad tuple for %s: %s" name m)
+    (List.rev !rels);
+  let w =
+    List.fold_left
+      (fun w (t, v) -> Weighted.set w (Tuple.of_list t) v)
+      (Weighted.create !weight_arity)
+      (List.rev !weights)
+  in
+  match Weighted.make !g w with
+  | ws -> ws
+  | exception Invalid_argument m -> fail "inconsistent weights: %s" m
+
+let save path ws =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ws))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

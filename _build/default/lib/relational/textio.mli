@@ -1,0 +1,28 @@
+(** Plain-text serialization of weighted structures.
+
+    The on-disk format the [wmark] CLI reads and writes.  Line-oriented,
+    comments with [#]:
+
+    {v
+    # qpwm weighted structure
+    schema Route/2 Timetable/4
+    weight_arity 1
+    size 18
+    name 0 India discovery      # optional, one per line
+    rel Route 0 3
+    rel Timetable 3 9 10 15
+    weight 3 635
+    v}
+
+    Unknown directives are an error; names may contain spaces (the rest of
+    the line). *)
+
+exception Format_error of string
+
+val to_string : Weighted.structure -> string
+val of_string : string -> Weighted.structure
+
+val save : string -> Weighted.structure -> unit
+val load : string -> Weighted.structure
+(** File variants. @raise Sys_error on IO problems, @raise Format_error on
+    malformed content. *)

@@ -1,0 +1,42 @@
+(** Tuples of universe elements.
+
+    A database instance interprets each relation symbol as a set of tuples
+    over a finite universe; we represent universe elements as integers
+    [0 .. n-1] and tuples as immutable-by-convention int arrays.  Weighted
+    elements (the [s]-tuples carrying weights) use the same representation. *)
+
+type t = int array
+
+val compare : t -> t -> int
+(** Lexicographic; shorter tuples sort first. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val arity : t -> int
+
+val of_list : int list -> t
+val to_list : t -> int list
+
+val singleton : int -> t
+val pair : int -> int -> t
+
+val concat : t -> t -> t
+(** [concat a b] is the (r+s)-tuple a followed by b — used to glue a query
+    parameter to a candidate result before evaluation. *)
+
+val mem_elt : int -> t -> bool
+(** Does the element occur in the tuple? *)
+
+val max_elt : t -> int
+(** Largest element; -1 for the empty tuple. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(a,b,c)]; bare element for arity 1. *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+module Hashtbl : Hashtbl.S with type key = t

@@ -1,0 +1,74 @@
+type t = { arity : int; default : int; entries : int Tuple.Map.t }
+
+let create ?(default = 0) arity =
+  if arity < 1 then invalid_arg "Weighted.create: arity < 1";
+  { arity; default; entries = Tuple.Map.empty }
+
+let arity w = w.arity
+
+let get w t =
+  match Tuple.Map.find_opt t w.entries with
+  | Some v -> v
+  | None -> w.default
+
+let set w t v =
+  if Tuple.arity t <> w.arity then invalid_arg "Weighted.set: arity mismatch";
+  { w with entries = Tuple.Map.add t v w.entries }
+
+let set_elt w x v = set w (Tuple.singleton x) v
+let get_elt w x = get w (Tuple.singleton x)
+
+let of_list ?(default = 0) arity l =
+  List.fold_left (fun w (t, v) -> set w t v) (create ~default arity) l
+
+let bindings w = Tuple.Map.bindings w.entries
+
+let support w = List.map fst (bindings w)
+
+let add_delta w t d = set w t (get w t + d)
+
+let apply_marks w marks =
+  List.fold_left (fun w (t, d) -> add_delta w t d) w marks
+
+let union_support a b =
+  Tuple.Set.union
+    (Tuple.Set.of_list (support a))
+    (Tuple.Set.of_list (support b))
+
+let local_distance a b =
+  if a.arity <> b.arity then invalid_arg "Weighted.local_distance: arity";
+  Tuple.Set.fold
+    (fun t acc -> max acc (abs (get a t - get b t)))
+    (union_support a b) 0
+
+let is_local_distortion ~c a b = local_distance a b <= c
+
+let equal a b = a.arity = b.arity && local_distance a b = 0 && a.default = b.default
+
+let pp fmt w =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (t, v) -> Format.fprintf fmt "W%a = %d@," Tuple.pp t v)
+    (bindings w);
+  Format.fprintf fmt "@]"
+
+type structure = { graph : Structure.t; weights : t }
+
+let make graph weights =
+  if arity weights <> Schema.weight_arity (Structure.schema graph) then
+    invalid_arg "Weighted.make: weight arity differs from schema";
+  let n = Structure.size graph in
+  List.iter
+    (fun t ->
+      if Array.exists (fun x -> x < 0 || x >= n) t then
+        invalid_arg "Weighted.make: weighted tuple outside universe")
+    (support weights);
+  { graph; weights }
+
+let weigh f g =
+  let w =
+    List.fold_left
+      (fun w x -> set_elt w x (f x))
+      (create 1) (Structure.universe g)
+  in
+  make g w

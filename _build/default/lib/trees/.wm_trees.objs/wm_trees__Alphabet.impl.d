@@ -1,0 +1,1 @@
+lib/trees/alphabet.ml: Array Btree List

@@ -1,0 +1,1 @@
+lib/trees/alphabet.mli: Btree

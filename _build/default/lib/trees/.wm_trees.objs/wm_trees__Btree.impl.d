@@ -1,0 +1,1 @@
+lib/trees/btree.ml: Array Format Fun Hashtbl List Schema String Structure Tuple

@@ -1,0 +1,1 @@
+lib/trees/btree.mli: Format Structure

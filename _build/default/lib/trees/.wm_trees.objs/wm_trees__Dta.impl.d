@@ -1,0 +1,1 @@
+lib/trees/dta.ml: Array Btree Format Fun Hashtbl List Option Queue String

@@ -1,0 +1,1 @@
+lib/trees/dta.mli: Btree Format

@@ -1,0 +1,1 @@
+lib/trees/mso_compile.ml: Alphabet Array Dta List Map Mso Nta Printf Set String

@@ -1,0 +1,1 @@
+lib/trees/mso_compile.mli: Alphabet Btree Dta Mso

@@ -1,0 +1,1 @@
+lib/trees/nta.ml: Alphabet Array Btree Dta Hashtbl Int List Set

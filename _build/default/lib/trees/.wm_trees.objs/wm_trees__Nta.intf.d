@@ -1,0 +1,1 @@
+lib/trees/nta.mli: Alphabet Btree Dta

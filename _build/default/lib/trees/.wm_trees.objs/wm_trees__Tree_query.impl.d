@@ -1,0 +1,1 @@
+lib/trees/tree_query.ml: Alphabet Array Btree Dta List Mso_compile Tuple Weighted

@@ -1,0 +1,1 @@
+lib/trees/tree_query.mli: Alphabet Btree Dta Mso_compile Tuple Weighted

@@ -1,0 +1,49 @@
+type t = { base_size : int; bits : int }
+
+let make ~base_size ~bits =
+  if base_size < 1 then invalid_arg "Alphabet.make: empty base alphabet";
+  if bits < 0 then invalid_arg "Alphabet.make: negative bit count";
+  if bits > 20 || base_size lsl bits > 1 lsl 20 then
+    invalid_arg "Alphabet.make: extended alphabet too large";
+  { base_size; bits }
+
+let size a = a.base_size lsl a.bits
+
+let encode a ~base ~mask =
+  assert (base >= 0 && base < a.base_size);
+  assert (mask >= 0 && mask < 1 lsl a.bits);
+  base + (a.base_size * mask)
+
+let base a letter = letter mod a.base_size
+let mask a letter = letter / a.base_size
+
+let bit a letter i = (mask a letter lsr i) land 1 = 1
+
+let with_bit a letter i v =
+  let m = mask a letter in
+  let m = if v then m lor (1 lsl i) else m land lnot (1 lsl i) in
+  encode a ~base:(base a letter) ~mask:m
+
+let insert_bit a p v letter =
+  assert (p >= 0 && p <= a.bits);
+  let c = base a letter and m = mask a letter in
+  let low = m land ((1 lsl p) - 1) in
+  let high = m lsr p in
+  let m' = low lor ((if v then 1 else 0) lsl p) lor (high lsl (p + 1)) in
+  c + (a.base_size * m')
+
+let drop_bit a p letter =
+  assert (p >= 0 && p < a.bits);
+  let c = base a letter and m = mask a letter in
+  let low = m land ((1 lsl p) - 1) in
+  let high = m lsr (p + 1) in
+  c + (a.base_size * (low lor (high lsl p)))
+
+let labeler a tree pebbles =
+  let masks = Array.make (Btree.size tree) 0 in
+  List.iter
+    (fun (i, node) ->
+      assert (i >= 0 && i < a.bits);
+      masks.(node) <- masks.(node) lor (1 lsl i))
+    pebbles;
+  fun v -> encode a ~base:(Btree.label tree v) ~mask:masks.(v)

@@ -1,0 +1,44 @@
+(** Pebble alphabets Sigma_k = Sigma x {0,1}^k (Section 4).
+
+    A tree with k distinguishable pebbles placed on vertices is a tree over
+    the product alphabet: each node's extended label records its base letter
+    and, for each pebble, whether the pebble sits on it.  We encode the
+    extended letter [(c, b_0 .. b_{k-1})] as the integer
+    [c + base_size * mask] where [mask] has bit i set iff b_i = 1. *)
+
+type t = { base_size : int; bits : int }
+(** An extended-alphabet descriptor. *)
+
+val make : base_size:int -> bits:int -> t
+(** [bits] may be 0 (plain alphabet).  Size must stay below 2^20. *)
+
+val size : t -> int
+(** base_size * 2^bits — the number of extended letters. *)
+
+val encode : t -> base:int -> mask:int -> int
+val base : t -> int -> int
+val mask : t -> int -> int
+
+val bit : t -> int -> int -> bool
+(** [bit a letter i] is pebble bit i of the extended letter. *)
+
+val with_bit : t -> int -> int -> bool -> int
+(** Extended letter with pebble bit i forced to the given value. *)
+
+val insert_bit : t -> int -> bool -> int -> int
+(** [insert_bit a p v letter]: [letter] is over [a]; the result is the
+    letter over the (bits+1)-alphabet whose bit [p] is [v] and whose other
+    bits are [letter]'s, shifted.  Cylindrification uses this to translate
+    letters between a subformula's alphabet and its superformula's. *)
+
+val drop_bit : t -> int -> int -> int
+(** [drop_bit a p letter]: [letter] is over [a]; forget its bit [p],
+    producing a letter over the (bits-1)-alphabet.  Inverse of
+    {!insert_bit} up to the dropped bit's value. *)
+
+val labeler : t -> Btree.t -> (int * int) list -> int -> int
+(** [labeler a tree pebbles] is the extended labeling of [tree] where
+    [pebbles] lists (bit index, node) placements — the tree T_{a b} of the
+    paper.  Unlisted bits are 0 everywhere.  Placing two pebbles of the same
+    index on different nodes is allowed (that encodes a set bit, used by the
+    MSO semantics); the function is the node-to-letter map. *)

@@ -1,0 +1,263 @@
+type t = {
+  nstates : int;
+  nlabels : int;
+  table : int array; (* [(ql+1) * (n+1) + (qr+1)] * nlabels + label *)
+  final : bool array;
+}
+
+let idx t ql qr label =
+  ((((ql + 1) * (t.nstates + 1)) + (qr + 1)) * t.nlabels) + label
+
+let make ~nstates ~nlabels ~final f =
+  if nstates < 1 then invalid_arg "Dta.make: need at least one state";
+  if nlabels < 1 then invalid_arg "Dta.make: need at least one label";
+  let t =
+    {
+      nstates;
+      nlabels;
+      table = Array.make ((nstates + 1) * (nstates + 1) * nlabels) 0;
+      final = Array.init nstates final;
+    }
+  in
+  for ql = -1 to nstates - 1 do
+    for qr = -1 to nstates - 1 do
+      for l = 0 to nlabels - 1 do
+        let q = f ql qr l in
+        if q < 0 || q >= nstates then invalid_arg "Dta.make: state out of range";
+        t.table.(idx t ql qr l) <- q
+      done
+    done
+  done;
+  t
+
+let make_reachable (type s) ~nlabels ~(final : s -> bool)
+    ~(delta : s option -> s option -> int -> s) =
+  let ids : (s, int) Hashtbl.t = Hashtbl.create 64 in
+  let states : s option array ref = ref (Array.make 8 None) in
+  let count = ref 0 in
+  let intern st =
+    match Hashtbl.find_opt ids st with
+    | Some id -> (id, false)
+    | None ->
+        let id = !count in
+        incr count;
+        if id >= Array.length !states then begin
+          let bigger = Array.make (2 * Array.length !states) None in
+          Array.blit !states 0 bigger 0 (Array.length !states);
+          states := bigger
+        end;
+        !states.(id) <- Some st;
+        Hashtbl.add ids st id;
+        (id, true)
+  in
+  let get id = Option.get !states.(id) in
+  let table : (int * int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let arg i = if i < 0 then None else Some (get i) in
+  let fill sl sr l =
+    if Hashtbl.mem table (sl, sr, l) then false
+    else begin
+      let id, fresh = intern (delta (arg sl) (arg sr) l) in
+      Hashtbl.replace table (sl, sr, l) id;
+      fresh
+    end
+  in
+  (* Worklist closure: when a state is processed it is paired (both ways,
+     and with '*') against every state discovered so far; pairs with states
+     discovered later are handled when those are processed.  Each ordered
+     pair is visited O(1) times. *)
+  for l = 0 to nlabels - 1 do
+    ignore (fill (-1) (-1) l)
+  done;
+  let processed = ref 0 in
+  while !processed < !count do
+    let s = !processed in
+    incr processed;
+    for l = 0 to nlabels - 1 do
+      ignore (fill s (-1) l);
+      ignore (fill (-1) s l);
+      for t = 0 to !processed - 1 do
+        ignore (fill s t l);
+        ignore (fill t s l)
+      done
+    done
+  done;
+  let n = max 1 !count in
+  make ~nstates:n ~nlabels
+    ~final:(fun id -> id < !count && final (get id))
+    (fun ql qr l ->
+      match Hashtbl.find_opt table (ql, qr, l) with Some id -> id | None -> 0)
+
+let nstates t = t.nstates
+let nlabels t = t.nlabels
+let is_final t q = t.final.(q)
+
+let delta t ql qr label = t.table.(idx t ql qr label)
+
+let run t tree ~label_of =
+  let n = Btree.size tree in
+  let state = Array.make n (-1) in
+  Array.iter
+    (fun v ->
+      let ql = match Btree.left tree v with Some c -> state.(c) | None -> -1 in
+      let qr = match Btree.right tree v with Some c -> state.(c) | None -> -1 in
+      state.(v) <- delta t ql qr (label_of v))
+    (Btree.postorder tree);
+  state
+
+let state_at_root t tree ~label_of = (run t tree ~label_of).(Btree.root tree)
+
+let accepts t tree ~label_of = is_final t (state_at_root t tree ~label_of)
+
+let run_with_hole_states t tree ~label_of ~hole q =
+  let n = Btree.size tree in
+  let state = Array.make n (-1) in
+  let hole_state = match q with Some q -> q | None -> -1 in
+  Array.iter
+    (fun v ->
+      if v = hole then state.(v) <- hole_state
+      else if not (Btree.strictly_below tree hole v) then begin
+        let ql =
+          match Btree.left tree v with Some c -> state.(c) | None -> -1
+        in
+        let qr =
+          match Btree.right tree v with Some c -> state.(c) | None -> -1
+        in
+        state.(v) <- delta t ql qr (label_of v)
+      end)
+    (Btree.postorder tree);
+  state
+
+let run_with_hole t tree ~label_of ~hole q =
+  (run_with_hole_states t tree ~label_of ~hole q).(Btree.root tree)
+
+let product a b ~final =
+  if a.nlabels <> b.nlabels then invalid_arg "Dta.product: alphabet mismatch";
+  let n = a.nstates * b.nstates in
+  let pair qa qb = (qa * b.nstates) + qb in
+  make ~nstates:n ~nlabels:a.nlabels
+    ~final:(fun q -> final a.final.(q / b.nstates) b.final.(q mod b.nstates))
+    (fun ql qr l ->
+      let split q = if q < 0 then (-1, -1) else (q / b.nstates, q mod b.nstates) in
+      let qla, qlb = split ql and qra, qrb = split qr in
+      pair (delta a qla qra l) (delta b qlb qrb l))
+
+let complement t = { t with final = Array.map not t.final }
+
+let accept_all ~nlabels =
+  make ~nstates:1 ~nlabels ~final:(fun _ -> true) (fun _ _ _ -> 0)
+
+let accept_none ~nlabels =
+  make ~nstates:1 ~nlabels ~final:(fun _ -> false) (fun _ _ _ -> 0)
+
+let reachable t =
+  let reach = Array.make t.nstates false in
+  let frontier = Queue.create () in
+  let add q =
+    if not reach.(q) then begin
+      reach.(q) <- true;
+      Queue.add q frontier
+    end
+  in
+  for l = 0 to t.nlabels - 1 do
+    add (delta t (-1) (-1) l)
+  done;
+  while not (Queue.is_empty frontier) do
+    let q = Queue.pop frontier in
+    for l = 0 to t.nlabels - 1 do
+      add (delta t q (-1) l);
+      add (delta t (-1) q l);
+      for q' = 0 to t.nstates - 1 do
+        if reach.(q') then begin
+          add (delta t q q' l);
+          add (delta t q' q l)
+        end
+      done
+    done
+  done;
+  reach
+
+let reduce t =
+  let reach = reachable t in
+  let remap = Array.make t.nstates (-1) in
+  let k = ref 0 in
+  Array.iteri
+    (fun q r ->
+      if r then begin
+        remap.(q) <- !k;
+        incr k
+      end)
+    reach;
+  let n' = max 1 !k in
+  let back = Array.make n' 0 in
+  Array.iteri (fun q m -> if m >= 0 then back.(m) <- q) remap;
+  make ~nstates:n' ~nlabels:t.nlabels
+    ~final:(fun q -> !k > 0 && t.final.(back.(q)))
+    (fun ql qr l ->
+      if !k = 0 then 0
+      else
+        let lift q = if q < 0 then -1 else back.(q) in
+        let q = delta t (lift ql) (lift qr) l in
+        (* Images of reachable states are reachable; other entries are
+           irrelevant, point them anywhere valid. *)
+        if remap.(q) >= 0 then remap.(q) else 0)
+
+let minimize t =
+  let t = reduce t in
+  let n = t.nstates in
+  let cls = Array.init n (fun q -> if t.final.(q) then 1 else 0) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let sig_of q =
+      let acc = ref [ cls.(q) ] in
+      for l = 0 to t.nlabels - 1 do
+        acc := cls.(delta t q (-1) l) :: cls.(delta t (-1) q l) :: !acc;
+        for r = 0 to n - 1 do
+          acc := cls.(delta t q r l) :: cls.(delta t r q l) :: !acc
+        done
+      done;
+      !acc
+    in
+    let sigs = Array.init n sig_of in
+    let fresh = Hashtbl.create 16 in
+    let next = ref 0 in
+    let newcls =
+      Array.init n (fun q ->
+          let key = (cls.(q), sigs.(q)) in
+          match Hashtbl.find_opt fresh key with
+          | Some c -> c
+          | None ->
+              let c = !next in
+              incr next;
+              Hashtbl.add fresh key c;
+              c)
+    in
+    if newcls <> cls then begin
+      Array.blit newcls 0 cls 0 n;
+      changed := true
+    end
+  done;
+  let nclasses = Array.fold_left max 0 cls + 1 in
+  let rep = Array.make nclasses 0 in
+  for q = n - 1 downto 0 do
+    rep.(cls.(q)) <- q
+  done;
+  make ~nstates:nclasses ~nlabels:t.nlabels
+    ~final:(fun c -> t.final.(rep.(c)))
+    (fun cl cr l ->
+      let lift c = if c < 0 then -1 else rep.(c) in
+      cls.(delta t (lift cl) (lift cr) l))
+
+let is_empty t =
+  let reach = reachable t in
+  not (Array.exists2 (fun r f -> r && f) reach t.final)
+
+let equivalent a b =
+  is_empty (product a b ~final:(fun x y -> x <> y))
+
+let pp fmt t =
+  let finals =
+    List.filter (fun q -> t.final.(q)) (List.init t.nstates Fun.id)
+  in
+  Format.fprintf fmt "dta{%d states, %d labels, final=%s}" t.nstates t.nlabels
+    (String.concat "," (List.map string_of_int finals))

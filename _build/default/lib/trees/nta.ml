@@ -1,0 +1,140 @@
+module Iset = Set.Make (Int)
+
+type t = {
+  nstates : int;
+  nlabels : int;
+  (* (ql+1, qr+1, label) -> possible states; key uses 0 for '*'. *)
+  trans : (int * int * int, Iset.t) Hashtbl.t;
+  final : bool array;
+}
+
+let nstates t = t.nstates
+let nlabels t = t.nlabels
+
+let of_dta d =
+  let n = Dta.nstates d and nl = Dta.nlabels d in
+  let trans = Hashtbl.create (n * n * nl / 2) in
+  for ql = -1 to n - 1 do
+    for qr = -1 to n - 1 do
+      for l = 0 to nl - 1 do
+        Hashtbl.replace trans (ql + 1, qr + 1, l)
+          (Iset.singleton (Dta.delta d ql qr l))
+      done
+    done
+  done;
+  { nstates = n; nlabels = nl; trans; final = Array.init n (Dta.is_final d) }
+
+let lookup t key =
+  match Hashtbl.find_opt t.trans key with Some s -> s | None -> Iset.empty
+
+let project d ~alpha ~bit =
+  let n = Dta.nstates d in
+  let small =
+    Alphabet.make ~base_size:alpha.Alphabet.base_size
+      ~bits:(alpha.Alphabet.bits - 1)
+  in
+  let nl = Alphabet.size small in
+  let trans = Hashtbl.create (n * n * nl / 2) in
+  for ql = -1 to n - 1 do
+    for qr = -1 to n - 1 do
+      for l = 0 to nl - 1 do
+        let l0 = Alphabet.insert_bit small bit false l in
+        let l1 = Alphabet.insert_bit small bit true l in
+        Hashtbl.replace trans
+          (ql + 1, qr + 1, l)
+          (Iset.of_list [ Dta.delta d ql qr l0; Dta.delta d ql qr l1 ])
+      done
+    done
+  done;
+  { nstates = n; nlabels = nl; trans; final = Array.init n (Dta.is_final d) }
+
+let accepts t tree ~label_of =
+  let n = Btree.size tree in
+  let state = Array.make n Iset.empty in
+  let states_of = function
+    | None -> [ 0 ]
+    | Some c -> List.map (fun q -> q + 1) (Iset.elements state.(c))
+  in
+  Array.iter
+    (fun v ->
+      let ls = states_of (Btree.left tree v) in
+      let rs = states_of (Btree.right tree v) in
+      let l = label_of v in
+      let acc = ref Iset.empty in
+      List.iter
+        (fun ql ->
+          List.iter
+            (fun qr -> acc := Iset.union !acc (lookup t (ql, qr, l)))
+            rs)
+        ls;
+      state.(v) <- !acc)
+    (Btree.postorder tree);
+  Iset.exists (fun q -> t.final.(q)) state.(Btree.root tree)
+
+let determinize t =
+  let subset_ids : (int list, int) Hashtbl.t = Hashtbl.create 64 in
+  let subsets : Iset.t array ref = ref (Array.make 8 Iset.empty) in
+  let count = ref 0 in
+  let intern s =
+    let key = Iset.elements s in
+    match Hashtbl.find_opt subset_ids key with
+    | Some id -> (id, false)
+    | None ->
+        let id = !count in
+        incr count;
+        if id >= Array.length !subsets then begin
+          let bigger = Array.make (2 * Array.length !subsets) Iset.empty in
+          Array.blit !subsets 0 bigger 0 (Array.length !subsets);
+          subsets := bigger
+        end;
+        !subsets.(id) <- s;
+        Hashtbl.add subset_ids key id;
+        (id, true)
+    in
+  (* delta on subset ids; -1 encodes '*'. *)
+  let step sl sr l =
+    let side s = if s < 0 then [ 0 ] else List.map (fun q -> q + 1) (Iset.elements !subsets.(s)) in
+    let acc = ref Iset.empty in
+    List.iter
+      (fun ql ->
+        List.iter (fun qr -> acc := Iset.union !acc (lookup t (ql, qr, l))) (side sr))
+      (side sl);
+    !acc
+  in
+  let table : (int * int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let fill sl sr l =
+    if not (Hashtbl.mem table (sl, sr, l)) then begin
+      let id, fresh = intern (step sl sr l) in
+      Hashtbl.replace table (sl, sr, l) id;
+      fresh
+    end
+    else false
+  in
+  (* Seed with leaf transitions, then close under pairing until no new
+     subset-state appears.  Every state materialized this way is bottom-up
+     reachable, so no separate reduction pass is needed. *)
+  for l = 0 to t.nlabels - 1 do
+    ignore (fill (-1) (-1) l)
+  done;
+  let stable = ref false in
+  while not !stable do
+    stable := true;
+    let n = !count in
+    for sl = -1 to n - 1 do
+      for sr = -1 to n - 1 do
+        if sl >= 0 || sr >= 0 then
+          for l = 0 to t.nlabels - 1 do
+            if fill sl sr l then stable := false
+          done
+      done
+    done;
+    if !count > n then stable := false
+  done;
+  let nst = max 1 !count in
+  Dta.make ~nstates:nst ~nlabels:t.nlabels
+    ~final:(fun id ->
+      id < !count && Iset.exists (fun q -> t.final.(q)) !subsets.(id))
+    (fun ql qr l ->
+      match Hashtbl.find_opt table (ql, qr, l) with
+      | Some id -> id
+      | None -> 0)

@@ -1,0 +1,119 @@
+type t = { auto : Dta.t; alpha : Alphabet.t; k : int; s : int }
+
+let make auto ~alpha ~k ~s =
+  if k < 0 || s < 1 then invalid_arg "Tree_query.make: bad arities";
+  if alpha.Alphabet.bits < k + s then
+    invalid_arg "Tree_query.make: alphabet has too few pebble bits";
+  if Dta.nlabels auto <> Alphabet.size alpha then
+    invalid_arg "Tree_query.make: automaton/alphabet mismatch";
+  { auto; alpha; k; s }
+
+let of_compiled (c : Mso_compile.t) ~params ~results =
+  let order = params @ results in
+  let declared = List.map fst c.free_bits in
+  if List.sort compare order <> List.sort compare declared then
+    invalid_arg "Tree_query.of_compiled: params+results <> free variables";
+  (* Bits were assigned in the order [free] was given to [compile]; require
+     that order to be params then results so bit layout matches. *)
+  if order <> declared then
+    invalid_arg
+      "Tree_query.of_compiled: compile with ~free:(params @ results)";
+  make c.auto ~alpha:c.alpha ~k:(List.length params) ~s:(List.length results)
+
+let k t = t.k
+let s t = t.s
+let automaton t = t.auto
+let alpha t = t.alpha
+
+let pebbles t a b =
+  List.mapi (fun i node -> (i, node)) (Array.to_list a)
+  @ List.mapi (fun i node -> (t.k + i, node)) (Array.to_list b)
+
+let member t tree a b =
+  assert (Tuple.arity a = t.k && Tuple.arity b = t.s);
+  Dta.accepts t.auto tree
+    ~label_of:(Alphabet.labeler t.alpha tree (pebbles t a b))
+
+let rec tuples_over n arity =
+  if arity = 0 then [ [] ]
+  else
+    List.concat_map
+      (fun rest -> List.init n (fun x -> x :: rest))
+      (tuples_over n (arity - 1))
+
+(* For s = 1 the whole result set W_a comes out of two linear passes: a
+   bottom-up run with only the parameter pebbles placed, then a top-down
+   "context acceptance" table Acc(v, q) = "would the tree be accepted if
+   the state at v were q".  Placing the result pebble on b only changes
+   b's own letter, so b is in W_a iff Acc(b, delta(ql, qr, letter_b with
+   the result bit set)).  O(n * states) per parameter instead of n runs. *)
+let result_set_s1 t tree a =
+  let n = Btree.size tree in
+  let m = Dta.nstates t.auto in
+  let label_of =
+    Alphabet.labeler t.alpha tree
+      (List.mapi (fun i node -> (i, node)) (Array.to_list a))
+  in
+  let state = Dta.run t.auto tree ~label_of in
+  let acc = Array.make_matrix n m false in
+  let root = Btree.root tree in
+  for q = 0 to m - 1 do
+    acc.(root).(q) <- Dta.is_final t.auto q
+  done;
+  (* Preorder: parents before children. *)
+  for v = 0 to n - 1 do
+    let ql = match Btree.left tree v with Some c -> state.(c) | None -> -1 in
+    let qr = match Btree.right tree v with Some c -> state.(c) | None -> -1 in
+    let lv = label_of v in
+    (match Btree.left tree v with
+    | Some c ->
+        for q = 0 to m - 1 do
+          acc.(c).(q) <- acc.(v).(Dta.delta t.auto q qr lv)
+        done
+    | None -> ());
+    match Btree.right tree v with
+    | Some c ->
+        for q = 0 to m - 1 do
+          acc.(c).(q) <- acc.(v).(Dta.delta t.auto ql q lv)
+        done
+    | None -> ()
+  done;
+  let result = ref Tuple.Set.empty in
+  for b = 0 to n - 1 do
+    let ql = match Btree.left tree b with Some c -> state.(c) | None -> -1 in
+    let qr = match Btree.right tree b with Some c -> state.(c) | None -> -1 in
+    let letter = Alphabet.with_bit t.alpha (label_of b) t.k true in
+    if acc.(b).(Dta.delta t.auto ql qr letter) then
+      result := Tuple.Set.add (Tuple.singleton b) !result
+  done;
+  !result
+
+let result_set t tree a =
+  assert (Tuple.arity a = t.k);
+  if t.s = 1 then result_set_s1 t tree a
+  else
+    let n = Btree.size tree in
+    List.fold_left
+      (fun acc b ->
+        let b = Tuple.of_list b in
+        if member t tree a b then Tuple.Set.add b acc else acc)
+      Tuple.Set.empty (tuples_over n t.s)
+
+let all_params t tree =
+  List.map Tuple.of_list (tuples_over (Btree.size tree) t.k)
+
+let active t tree =
+  List.fold_left
+    (fun acc a -> Tuple.Set.union acc (result_set t tree a))
+    Tuple.Set.empty (all_params t tree)
+
+let f t tree ~weights a =
+  Tuple.Set.fold
+    (fun b acc -> acc + Weighted.get weights b)
+    (result_set t tree a) 0
+
+let answer t tree ~weights a =
+  Tuple.Set.fold
+    (fun b acc -> (b, Weighted.get weights b) :: acc)
+    (result_set t tree a) []
+  |> List.rev

@@ -1,0 +1,1 @@
+lib/util/codec.ml: Array Bitvec Char Prng String

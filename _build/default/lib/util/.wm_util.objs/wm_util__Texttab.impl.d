@@ -1,0 +1,1 @@
+lib/util/texttab.ml: Array Buffer Format List Printf String

@@ -1,0 +1,75 @@
+let of_int ~bits n =
+  assert (bits >= 0 && bits <= 62);
+  assert (n >= 0 && (bits = 62 || n < 1 lsl bits));
+  let v = Bitvec.create bits in
+  for i = 0 to bits - 1 do
+    Bitvec.set v i ((n lsr i) land 1 = 1)
+  done;
+  v
+
+let to_int v =
+  assert (Bitvec.length v <= 62);
+  let n = ref 0 in
+  for i = Bitvec.length v - 1 downto 0 do
+    n := (!n lsl 1) lor (if Bitvec.get v i then 1 else 0)
+  done;
+  !n
+
+let of_string s =
+  let v = Bitvec.create (8 * String.length s) in
+  String.iteri
+    (fun i c ->
+      let c = Char.code c in
+      for b = 0 to 7 do
+        Bitvec.set v ((8 * i) + b) ((c lsr b) land 1 = 1)
+      done)
+    s;
+  v
+
+let to_string v =
+  let n = Bitvec.length v in
+  assert (n mod 8 = 0);
+  String.init (n / 8) (fun i ->
+      let c = ref 0 in
+      for b = 7 downto 0 do
+        c := (!c lsl 1) lor (if Bitvec.get v ((8 * i) + b) then 1 else 0)
+      done;
+      Char.chr !c)
+
+let of_bool_list bs = Bitvec.of_bools (Array.of_list bs)
+let to_bool_list v = Array.to_list (Bitvec.to_bools v)
+
+let random g l =
+  let v = Bitvec.create l in
+  for i = 0 to l - 1 do
+    Bitvec.set v i (Prng.bool g)
+  done;
+  v
+
+let hamming a b =
+  assert (Bitvec.length a = Bitvec.length b);
+  Bitvec.popcount (Bitvec.diff (Bitvec.union a b) (Bitvec.inter a b))
+
+let repeat ~times m =
+  let l = Bitvec.length m in
+  let v = Bitvec.create (l * times) in
+  for t = 0 to times - 1 do
+    for i = 0 to l - 1 do
+      Bitvec.set v ((t * l) + i) (Bitvec.get m i)
+    done
+  done;
+  v
+
+let majority_decode ~times v =
+  let n = Bitvec.length v in
+  assert (times > 0 && n mod times = 0);
+  let l = n / times in
+  let out = Bitvec.create l in
+  for i = 0 to l - 1 do
+    let ones = ref 0 in
+    for t = 0 to times - 1 do
+      if Bitvec.get v ((t * l) + i) then incr ones
+    done;
+    Bitvec.set out i (2 * !ones > times)
+  done;
+  out

@@ -1,0 +1,36 @@
+(** Watermark message codec.
+
+    A mark is a boolean word m in {0,1}^l (Definition 2).  Owners usually
+    want to embed an identity — a server id or a short string — so this
+    module converts between the representations used at the API boundary:
+    integers, ASCII strings, and {!Bitvec.t} messages. *)
+
+val of_int : bits:int -> int -> Bitvec.t
+(** [of_int ~bits n] is the little-endian [bits]-long encoding of [n].
+    Requires [0 <= n < 2^bits]. *)
+
+val to_int : Bitvec.t -> int
+(** Little-endian decoding; requires length <= 62. *)
+
+val of_string : string -> Bitvec.t
+(** 8 bits per byte, little-endian within each byte. *)
+
+val to_string : Bitvec.t -> string
+(** Inverse of {!of_string}; requires length divisible by 8. *)
+
+val of_bool_list : bool list -> Bitvec.t
+val to_bool_list : Bitvec.t -> bool list
+
+val random : Prng.t -> int -> Bitvec.t
+(** [random g l] is a uniform message of length [l]. *)
+
+val hamming : Bitvec.t -> Bitvec.t -> int
+(** Number of positions where the two messages differ (equal lengths). *)
+
+val repeat : times:int -> Bitvec.t -> Bitvec.t
+(** [repeat ~times m] concatenates [times] copies of [m]: the redundancy
+    encoding used by the adversarial (Khanna-Zane style) wrapper. *)
+
+val majority_decode : times:int -> Bitvec.t -> Bitvec.t
+(** Inverse of {!repeat} by per-position majority vote.  The input length
+    must be a multiple of [times]; ties decode to [false]. *)

@@ -1,0 +1,57 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* SplitMix64 output function (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g =
+  let s = bits64 g in
+  { state = mix s }
+
+let int g n =
+  assert (n > 0);
+  (* Rejection-free for our sizes: take 62 non-negative bits and mod.  The
+     modulo bias is < 2^-50 for any n we use. *)
+  let x = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) in
+  x mod n
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let float g x =
+  let b = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  b /. 9007199254740992.0 *. x
+
+let bernoulli g p = float g 1.0 < p
+
+let pm_one g = if bool g then 1 else -1
+
+let choose g a =
+  assert (Array.length a > 0);
+  a.(int g (Array.length a))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample g k a =
+  let a = Array.copy a in
+  shuffle g a;
+  Array.sub a 0 (min k (Array.length a))
+
+let subset g p xs = List.filter (fun _ -> bernoulli g p) xs

@@ -1,0 +1,80 @@
+type align = Left | Right
+
+type t = {
+  headers : string array;
+  aligns : align array;
+  mutable rows : string array list; (* reversed *)
+}
+
+let create ?aligns headers =
+  let headers = Array.of_list headers in
+  let n = Array.length headers in
+  let aligns =
+    match aligns with
+    | Some a ->
+        assert (List.length a = n);
+        Array.of_list a
+    | None -> Array.init n (fun i -> if i = 0 then Left else Right)
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t cells =
+  let n = Array.length t.headers in
+  if List.length cells > n then invalid_arg "Texttab.add_row: too many cells";
+  let row = Array.make n "" in
+  List.iteri (fun i c -> row.(i) <- c) cells;
+  t.rows <- row :: t.rows
+
+let addf t fmt =
+  Format.kasprintf (fun s -> add_row t (String.split_on_char '|' s)) fmt
+
+let render t =
+  let rows = List.rev t.rows in
+  let n = Array.length t.headers in
+  let width = Array.map String.length t.headers in
+  List.iter
+    (fun row ->
+      Array.iteri (fun i c -> width.(i) <- max width.(i) (String.length c)) row)
+    rows;
+  let pad i s =
+    let w = width.(i) in
+    let missing = w - String.length s in
+    if missing <= 0 then s
+    else
+      match t.aligns.(i) with
+      | Left -> s ^ String.make missing ' '
+      | Right -> String.make missing ' ' ^ s
+  in
+  let line cells =
+    String.concat "  " (List.mapi pad (Array.to_list cells))
+  in
+  let rule =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') width))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  ignore n;
+  Buffer.contents buf
+
+let print ?title t =
+  (match title with
+  | Some s ->
+      print_newline ();
+      print_endline s;
+      print_endline (String.make (String.length s) '=')
+  | None -> ());
+  print_string (render t)
+
+let cell_int = string_of_int
+
+let cell_float ?(digits = 3) x = Printf.sprintf "%.*f" digits x
+
+let cell_bool b = if b then "yes" else "no"

@@ -1,0 +1,35 @@
+(** Plain-text table rendering for the experiment harness.
+
+    Every experiment in [bench/main.exe] prints one table in the style of the
+    paper's figures; this module keeps the formatting in one place so the
+    tables line up and are diffable across runs. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table.  [aligns] defaults to [Left] for the
+    first column and [Right] for the rest (headers are labels, data are
+    numbers in most experiment tables). *)
+
+val add_row : t -> string list -> unit
+(** Appends a row; short rows are padded with empty cells, long rows raise
+    [Invalid_argument]. *)
+
+val addf : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [addf t fmt ...] formats a single row as a ['|']-separated string, e.g.
+    [addf t "%d|%s|%.2f" 3 "x" 0.5]. *)
+
+val render : t -> string
+(** The table as a string with a header rule, columns padded to content. *)
+
+val print : ?title:string -> t -> unit
+(** [print ~title t] writes the optional title and the rendered table to
+    stdout. *)
+
+val cell_int : int -> string
+val cell_float : ?digits:int -> float -> string
+val cell_bool : bool -> string
+(** Uniform cell formatting helpers ([digits] defaults to 3). *)

@@ -1,0 +1,1 @@
+lib/vc/query_vc.ml: Array Bitvec Fun List Query Setfam Tuple Vc

@@ -1,0 +1,1 @@
+lib/vc/query_vc.mli: Query Setfam Structure Tuple

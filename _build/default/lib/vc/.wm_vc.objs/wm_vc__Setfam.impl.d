@@ -1,0 +1,1 @@
+lib/vc/setfam.ml: Array Bitvec Hashtbl List Set

@@ -1,0 +1,1 @@
+lib/vc/setfam.mli: Bitvec

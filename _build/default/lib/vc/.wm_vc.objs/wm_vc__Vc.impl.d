@@ -1,0 +1,1 @@
+lib/vc/vc.ml: List Setfam

@@ -1,0 +1,61 @@
+module Bset = Set.Make (struct
+  type t = Bitvec.t
+
+  let compare = Bitvec.compare
+end)
+
+type t = { universe : int; sets : Bitvec.t list }
+
+let create ~universe sets =
+  List.iter
+    (fun s ->
+      if Bitvec.length s <> universe then
+        invalid_arg "Setfam.create: bitset length mismatch")
+    sets;
+  { universe; sets = Bset.elements (Bset.of_list sets) }
+
+let of_int_sets ~universe int_sets =
+  create ~universe (List.map (Bitvec.of_list universe) int_sets)
+
+let universe_size f = f.universe
+let cardinal f = List.length f.sets
+let sets f = f.sets
+
+let mem_set f ixs =
+  let v = Bitvec.of_list f.universe ixs in
+  List.exists (Bitvec.equal v) f.sets
+
+let trace_of u s =
+  (* u: element array; trace as an int mask over u's positions. *)
+  let m = ref 0 in
+  Array.iteri (fun i x -> if Bitvec.get s x then m := !m lor (1 lsl i)) u;
+  !m
+
+let distinct_traces f ixs =
+  let u = Array.of_list ixs in
+  if Array.length u > 25 then invalid_arg "Setfam: subset too large";
+  let seen = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace seen (trace_of u s) ()) f.sets;
+  seen
+
+let trace_count f ixs = Hashtbl.length (distinct_traces f ixs)
+
+let shatters f ixs =
+  let k = List.length ixs in
+  k <= 25 && trace_count f ixs = 1 lsl k
+
+let restriction f ixs =
+  let u = Array.of_list ixs in
+  let k = Array.length u in
+  let traces = distinct_traces f ixs in
+  let sets =
+    Hashtbl.fold
+      (fun mask () acc ->
+        let v = Bitvec.create k in
+        for i = 0 to k - 1 do
+          Bitvec.set v i ((mask lsr i) land 1 = 1)
+        done;
+        v :: acc)
+      traces []
+  in
+  create ~universe:k sets

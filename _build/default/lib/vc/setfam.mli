@@ -1,0 +1,32 @@
+(** Finite set families over an indexed universe.
+
+    The VC-dimension machinery of Section 1-2 works on the family
+    C(psi, G) = { psi(a, G) : a in U^r } of query result sets.  Here a
+    family is a deduplicated list of bitsets over [0 .. universe-1]; the
+    translation from tuples is in {!Query_vc}. *)
+
+type t
+
+val create : universe:int -> Bitvec.t list -> t
+(** Deduplicates; every bitset must have length [universe]. *)
+
+val of_int_sets : universe:int -> int list list -> t
+
+val universe_size : t -> int
+val cardinal : t -> int
+(** Number of distinct sets. *)
+
+val sets : t -> Bitvec.t list
+
+val mem_set : t -> int list -> bool
+(** Is the given set (as sorted element list) one of the family's sets? *)
+
+val trace_count : t -> int list -> int
+(** Number of distinct traces C ∩ U for U the given subset. *)
+
+val shatters : t -> int list -> bool
+(** C shatters U iff the traces realize all 2^|U| subsets of U.  U must
+    have at most 25 elements. *)
+
+val restriction : t -> int list -> t
+(** The trace family C|U, re-indexed over [0 .. |U|-1]. *)

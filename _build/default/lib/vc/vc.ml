@@ -1,0 +1,72 @@
+let shattered_level f prev =
+  (* Extend each shattered set by one element larger than its maximum:
+     every shattered (k+1)-set has all its k-subsets shattered, in
+     particular its prefix, so this enumeration is exhaustive. *)
+  let n = Setfam.universe_size f in
+  List.concat_map
+    (fun set ->
+      let lo = match List.rev set with [] -> -1 | m :: _ -> m in
+      let rec go x acc =
+        if x >= n then List.rev acc
+        else
+          let cand = set @ [ x ] in
+          if Setfam.shatters f cand then go (x + 1) (cand :: acc)
+          else go (x + 1) acc
+      in
+      go (lo + 1) [])
+    prev
+
+let dimension ?max f =
+  let cap = match max with Some m -> m | None -> Setfam.universe_size f in
+  let rec go d level =
+    if d >= cap then d
+    else
+      match shattered_level f level with
+      | [] -> d
+      | next -> go (d + 1) next
+  in
+  go 0 [ [] ]
+
+let shattered_sets f size =
+  let rec go k level =
+    if k = size then level else go (k + 1) (shattered_level f level)
+  in
+  if size < 0 then []
+  else go 0 [ [] ]
+
+let is_maximal f ~active = Setfam.shatters f active
+
+let sauer_shelah ~d ~n =
+  let cap = max_int / 2 in
+  let rec binom n k =
+    if k < 0 || k > n then 0
+    else if k = 0 then 1
+    else
+      let prev = binom (n - 1) (k - 1) in
+      if prev > cap / n then cap else prev * n / k
+  in
+  let rec total i acc =
+    if i > d then acc
+    else
+      let b = binom n i in
+      if acc > cap - b then cap else total (i + 1) (acc + b)
+  in
+  total 0 0
+
+let respects_sauer_shelah f =
+  Setfam.cardinal f
+  <= sauer_shelah ~d:(dimension f) ~n:(Setfam.universe_size f)
+
+let growth f m =
+  let n = Setfam.universe_size f in
+  let best = ref 0 in
+  let rec go start set k =
+    if k = 0 then best := max !best (Setfam.trace_count f (List.rev set))
+    else
+      for x = start to n - k do
+        go (x + 1) (x :: set) (k - 1)
+      done
+  in
+  if m > n then invalid_arg "Vc.growth: m exceeds universe";
+  go 0 [] m;
+  !best

@@ -1,0 +1,32 @@
+(** Exact VC-dimension computation and Sauer-Shelah bounds.
+
+    VC(C) is the size of the largest subset of the universe shattered by C
+    (Section 1).  Theorem 2 turns maximal VC-dimension
+    (VC(psi, G) = |W|) into a watermarking impossibility; experiment E3
+    verifies the shattering side with this module. *)
+
+val dimension : ?max:int -> Setfam.t -> int
+(** Exact VC-dimension by level-wise search: shattered k-sets are only
+    extended from shattered (k-1)-sets (shattering is hereditary), which
+    keeps the search tractable for the family sizes in the experiments.
+    [max] (default: universe size) caps the search. *)
+
+val shattered_sets : Setfam.t -> int -> int list list
+(** All shattered subsets of the given size (each sorted ascending). *)
+
+val is_maximal : Setfam.t -> active:int list -> bool
+(** The Theorem 2 condition VC(psi, G) = |W|: the whole active set is
+    shattered. *)
+
+val sauer_shelah : d:int -> n:int -> int
+(** The Sauer-Shelah bound sum_{i<=d} C(n, i) on the number of distinct
+    sets of a family with VC-dimension d over an n-element universe
+    (saturates at [max_int/2]). *)
+
+val respects_sauer_shelah : Setfam.t -> bool
+(** |C| <= sauer_shelah (dimension C) n — true for every family; a
+    property-test hook for the implementation itself. *)
+
+val growth : Setfam.t -> int -> int
+(** The shatter function pi_C(m): the maximum number of traces over any
+    m-element subset.  Exponential in m; keep m small. *)

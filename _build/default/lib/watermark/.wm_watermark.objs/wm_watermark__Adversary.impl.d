@@ -1,0 +1,1 @@
+lib/watermark/adversary.ml: Array Distortion List Printf Prng Weighted

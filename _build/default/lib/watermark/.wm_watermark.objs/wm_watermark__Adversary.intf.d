@@ -1,0 +1,1 @@
+lib/watermark/adversary.mli: Prng Query_system Tuple Weighted

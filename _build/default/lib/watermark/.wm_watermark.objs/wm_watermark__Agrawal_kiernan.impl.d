@@ -1,0 +1,1 @@
+lib/watermark/agrawal_kiernan.ml: Int64 List Prng Stats Tuple Weighted

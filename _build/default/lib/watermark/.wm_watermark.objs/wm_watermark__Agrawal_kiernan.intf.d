@@ -1,0 +1,1 @@
+lib/watermark/agrawal_kiernan.mli: Tuple Weighted

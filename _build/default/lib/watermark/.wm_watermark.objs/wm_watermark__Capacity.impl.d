@@ -1,0 +1,1 @@
+lib/watermark/capacity.ml: Array Fun List Query_system Tuple Weighted

@@ -1,0 +1,1 @@
+lib/watermark/capacity.mli: Query Query_system Weighted

@@ -1,0 +1,1 @@
+lib/watermark/detector.ml: Bitvec Codec List Pairing Tuple Weighted

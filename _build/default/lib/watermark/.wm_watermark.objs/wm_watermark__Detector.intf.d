@@ -1,0 +1,1 @@
+lib/watermark/detector.mli: Bitvec Pairing Tuple Weighted

@@ -1,0 +1,1 @@
+lib/watermark/distortion.ml: Float List Option Query_system Tuple Weighted

@@ -1,0 +1,1 @@
+lib/watermark/distortion.mli: Query_system Tuple Weighted

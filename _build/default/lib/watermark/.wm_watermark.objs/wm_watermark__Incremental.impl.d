@@ -1,0 +1,1 @@
+lib/watermark/incremental.ml: Array Gaifman Iso List Neighborhood Tuple Weighted

@@ -1,0 +1,1 @@
+lib/watermark/incremental.mli: Structure Weighted

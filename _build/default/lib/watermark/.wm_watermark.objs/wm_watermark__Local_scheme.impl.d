@@ -1,0 +1,1 @@
+lib/watermark/local_scheme.ml: Array Bitvec Gaifman List Locality Neighborhood Pairing Prng Query Query_system Tuple Weighted

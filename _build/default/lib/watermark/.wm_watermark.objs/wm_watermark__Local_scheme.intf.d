@@ -1,0 +1,1 @@
+lib/watermark/local_scheme.mli: Bitvec Pairing Query Query_system Weighted

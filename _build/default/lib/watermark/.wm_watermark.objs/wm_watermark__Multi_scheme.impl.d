@@ -1,0 +1,1 @@
+lib/watermark/multi_scheme.ml: Array Detector Distortion List Local_scheme Locality Neighborhood Pairing Prng Query Query_system Tuple Weighted

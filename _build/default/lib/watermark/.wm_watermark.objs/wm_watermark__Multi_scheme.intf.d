@@ -1,0 +1,1 @@
+lib/watermark/multi_scheme.mli: Bitvec Local_scheme Pairing Query Weighted

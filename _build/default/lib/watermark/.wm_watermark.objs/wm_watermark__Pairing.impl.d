@@ -1,0 +1,1 @@
+lib/watermark/pairing.ml: Array Bitvec Fun Hashtbl List Option Prng Query_system Tuple

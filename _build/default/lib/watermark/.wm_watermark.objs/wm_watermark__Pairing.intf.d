@@ -1,0 +1,1 @@
+lib/watermark/pairing.mli: Bitvec Prng Query_system Tuple

@@ -1,0 +1,1 @@
+lib/watermark/pipeline.ml: Bitvec Local_scheme Printf Tree_scheme Weighted Wm_trees Wm_xml

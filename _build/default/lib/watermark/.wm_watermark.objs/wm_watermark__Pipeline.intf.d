@@ -1,0 +1,1 @@
+lib/watermark/pipeline.mli: Bitvec Local_scheme Query Tree_scheme Weighted Wm_trees Wm_xml

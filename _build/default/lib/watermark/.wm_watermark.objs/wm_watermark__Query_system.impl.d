@@ -1,0 +1,1 @@
+lib/watermark/query_system.ml: List Query Tuple Weighted Wm_trees

@@ -1,0 +1,1 @@
+lib/watermark/query_system.mli: Query Structure Tuple Weighted Wm_trees

@@ -1,0 +1,1 @@
+lib/watermark/robust.ml: Bitvec Codec Local_scheme Query_system Tree_scheme Weighted

@@ -1,0 +1,1 @@
+lib/watermark/robust.mli: Bitvec Local_scheme Query_system Tree_scheme Weighted

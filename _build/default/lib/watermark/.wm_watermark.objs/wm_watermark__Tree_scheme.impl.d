@@ -1,0 +1,1 @@
+lib/watermark/tree_scheme.ml: Alphabet Array Bitvec Btree Dta Hashtbl List Option Pairing Prng Query_system Tree_query Tuple Weighted Wm_trees

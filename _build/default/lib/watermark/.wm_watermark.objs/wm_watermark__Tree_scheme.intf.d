@@ -1,0 +1,1 @@
+lib/watermark/tree_scheme.mli: Bitvec Pairing Query_system Weighted Wm_trees

@@ -1,0 +1,50 @@
+type attack =
+  | Uniform_noise of { amplitude : int }
+  | Random_flips of { count : int; amplitude : int }
+  | Rounding of { multiple : int }
+  | Constant_offset of { delta : int }
+  | Back_to_original of { original : Weighted.t; fraction : float }
+
+let apply g attack ~active w =
+  match attack with
+  | Uniform_noise { amplitude } ->
+      List.fold_left
+        (fun w t ->
+          Weighted.add_delta w t (Prng.int g ((2 * amplitude) + 1) - amplitude))
+        w active
+  | Random_flips { count; amplitude } ->
+      let targets = Prng.sample g count (Array.of_list active) in
+      Array.fold_left
+        (fun w t -> Weighted.add_delta w t (Prng.pm_one g * amplitude))
+        w targets
+  | Rounding { multiple } ->
+      assert (multiple > 0);
+      List.fold_left
+        (fun w t ->
+          let v = Weighted.get w t in
+          let down = v - (((v mod multiple) + multiple) mod multiple) in
+          let rounded =
+            if v - down <= multiple / 2 then down else down + multiple
+          in
+          Weighted.set w t rounded)
+        w active
+  | Constant_offset { delta } ->
+      List.fold_left (fun w t -> Weighted.add_delta w t delta) w active
+  | Back_to_original { original; fraction } ->
+      List.fold_left
+        (fun w t ->
+          if Prng.bernoulli g fraction then
+            Weighted.set w t (Weighted.get original t)
+          else w)
+        w active
+
+let describe = function
+  | Uniform_noise { amplitude } -> Printf.sprintf "uniform noise +-%d" amplitude
+  | Random_flips { count; amplitude } ->
+      Printf.sprintf "%d random +-%d flips" count amplitude
+  | Rounding { multiple } -> Printf.sprintf "round to multiples of %d" multiple
+  | Constant_offset { delta } -> Printf.sprintf "offset %+d" delta
+  | Back_to_original { fraction; _ } ->
+      Printf.sprintf "reset %.0f%% to a leaked copy" (100. *. fraction)
+
+let global_budget_used qs ~before ~after = Distortion.global qs before after

@@ -1,0 +1,36 @@
+(** Attack models for the adversarial setting (Section 1 / Fact 1).
+
+    An attacker holds a marked instance and perturbs weights to erase the
+    mark, under the {e bounded distortion} assumption (it must still sell
+    useful data) and the {e limited knowledge} assumption (it does not know
+    which weights carry the mark).  Attacks transform weight assignments;
+    they never touch the structure (that would change the data's meaning,
+    and membership in query results is parameter data by definition). *)
+
+type attack =
+  | Uniform_noise of { amplitude : int }
+      (** Add an independent uniform integer in [-amplitude, amplitude] to
+          every active weight. *)
+  | Random_flips of { count : int; amplitude : int }
+      (** Add +-amplitude to [count] randomly chosen active weights —
+          the attacker guessing mark positions. *)
+  | Rounding of { multiple : int }
+      (** Round every active weight to the nearest multiple — the classic
+          "launder the low bits" attack that kills LSB schemes. *)
+  | Constant_offset of { delta : int }
+      (** Shift every active weight — pair-difference detectors are
+          provably immune. *)
+  | Back_to_original of { original : Weighted.t; fraction : float }
+      (** Reset a random fraction of active weights to their values in
+          another copy the attacker obtained (models partial knowledge
+          leakage; fraction 1.0 erases the mark completely). *)
+
+val apply :
+  Prng.t -> attack -> active:Tuple.t list -> Weighted.t -> Weighted.t
+
+val describe : attack -> string
+
+val global_budget_used :
+  Query_system.t -> before:Weighted.t -> after:Weighted.t -> int
+(** The d' the attack actually spent (max query-weight change) — reported
+    next to detection rates in experiment E10. *)

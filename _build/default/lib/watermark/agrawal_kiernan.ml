@@ -1,0 +1,44 @@
+type params = { key : int; gamma : int; xi : int }
+
+(* Keyed hash: one SplitMix64 step over key and tuple hash. *)
+let hash p t salt =
+  let g = Prng.create ((p.key * 1_000_003) lxor (Tuple.hash t * 31) lxor salt) in
+  Int64.to_int (Int64.logand (Prng.bits64 g) 0x3FFFFFFFFFFFFFFFL)
+
+let selected p t = hash p t 0 mod p.gamma = 0
+
+let bit_position p t = hash p t 1 mod p.xi
+
+let bit_value p t = hash p t 2 land 1
+
+let mark p w =
+  if p.gamma < 1 || p.xi < 1 then invalid_arg "Agrawal_kiernan.mark";
+  List.fold_left
+    (fun w (t, v) ->
+      if selected p t then begin
+        let j = bit_position p t and b = bit_value p t in
+        let v' = if b = 1 then v lor (1 lsl j) else v land lnot (1 lsl j) in
+        Weighted.set w t v'
+      end
+      else w)
+    w (Weighted.bindings w)
+
+let marked_positions p w =
+  List.filter (selected p) (Weighted.support w)
+
+let detect p w =
+  List.fold_left
+    (fun (matches, total) (t, v) ->
+      if selected p t then begin
+        let j = bit_position p t and b = bit_value p t in
+        let got = (v lsr j) land 1 in
+        ((if got = b then matches + 1 else matches), total + 1)
+      end
+      else (matches, total))
+    (0, 0) (Weighted.bindings w)
+
+let match_rate p w =
+  let matches, total = detect p w in
+  Stats.rate matches total
+
+let is_detected ?(threshold = 0.95) p w = match_rate p w >= threshold

@@ -1,0 +1,36 @@
+(** The Agrawal-Kiernan watermarking baseline ([1], VLDB 2002).
+
+    The scheme the paper positions itself against: a secret key selects
+    roughly 1/gamma of the tuples by keyed hash; in each, one of the xi
+    least-significant bits of the numeric attribute is set to a
+    key-derived bit.  Detection needs no original: it recomputes the
+    selection and counts how many selected bit positions match — a match
+    rate near 1 identifies the mark, near 1/2 is noise.
+
+    Experimentally (their observation, reproduced in E12) the global mean
+    and variance barely move; but nothing bounds the distortion of a
+    {e parametric query's} sum, which is exactly the gap query-preserving
+    watermarking closes — the E12 table shows AK's max per-parameter
+    distortion growing while the Theorem 3 scheme's stays at its
+    certificate. *)
+
+type params = {
+  key : int;  (** secret *)
+  gamma : int;  (** mark about 1/gamma of the weights; >= 1 *)
+  xi : int;  (** usable least-significant bits; >= 1 *)
+}
+
+val mark : params -> Weighted.t -> Weighted.t
+(** Marks every supported tuple selected by the keyed hash. *)
+
+val marked_positions : params -> Weighted.t -> Tuple.t list
+(** Which tuples the key selects (for diagnostics/tests). *)
+
+val detect : params -> Weighted.t -> int * int
+(** (matches, selected): how many selected positions carry the expected
+    bit. *)
+
+val match_rate : params -> Weighted.t -> float
+
+val is_detected : ?threshold:float -> params -> Weighted.t -> bool
+(** [threshold] defaults to 0.95. *)

@@ -1,0 +1,28 @@
+(** Exact watermarking-capacity counting — #Mark (Theorem 1).
+
+    #Mark counts the distinct weight perturbations of an instance meeting a
+    distortion condition.  Computing it for distortion exactly d is
+    #P-complete; this module implements the brute-force counter (usable on
+    small instances) and the reduction of Theorem 1, whose correctness is
+    checked against Ryser's permanent in experiment E2. *)
+
+type condition =
+  | Max_le of int  (** every parameter's |distortion| <= d *)
+  | Max_eq of int  (** ... <= d with equality somewhere *)
+  | All_eq of int  (** every parameter's distortion = +d exactly —
+                       the reduction's condition with d = 1 *)
+
+val count :
+  ?deltas:int list -> Query_system.t -> condition -> int
+(** [count qs cond] enumerates assignments of per-element deltas (default
+    [[-1; 0; 1]]; the reduction uses [[0; 1]]) over the active elements,
+    counting those whose per-parameter summed distortion satisfies the
+    condition.  Branch-and-bound on reachable distortion intervals prunes
+    the search.  Exponential in |W| — guard with [max_active]. *)
+
+val count_matchings : Weighted.structure -> Query.t -> int
+(** The counting side of the Theorem 1 reduction: on the marking problem
+    built by {!Wm_workload.Bipartite.to_marking_problem}, count {0,+1}
+    markings distorting every query by exactly 1.  Equals the graph's
+    permanent — that equality {e is} the reduction's correctness
+    (experiment E2). *)

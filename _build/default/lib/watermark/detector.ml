@@ -1,0 +1,91 @@
+type verdict = {
+  decoded : Bitvec.t;
+  strong : int;
+  weak : int;
+  silent : int;
+  confidence : float;
+}
+
+let read pairs ~original ~observed ~length =
+  if length > List.length pairs then
+    invalid_arg "Detector.read: length exceeds pair count";
+  let decoded = Bitvec.create length in
+  let strong = ref 0 and weak = ref 0 and silent = ref 0 in
+  List.iteri
+    (fun i { Pairing.fst; snd } ->
+      if i < length then begin
+        let delta t =
+          match Tuple.Map.find_opt t observed with
+          | Some v -> v - Weighted.get original t
+          | None -> 0
+        in
+        let d = delta fst - delta snd in
+        Bitvec.set decoded i (d > 0);
+        if d = 2 || d = -2 then incr strong
+        else if d <> 0 then incr weak
+        else incr silent
+      end)
+    pairs;
+  {
+    decoded;
+    strong = !strong;
+    weak = !weak;
+    silent = !silent;
+    confidence =
+      (if length = 0 then 0.
+       else float_of_int (!strong + !weak) /. float_of_int length);
+  }
+
+let read_weights pairs ~original ~suspect ~length =
+  let observed =
+    List.fold_left
+      (fun acc { Pairing.fst; snd } ->
+        Tuple.Map.add fst (Weighted.get suspect fst)
+          (Tuple.Map.add snd (Weighted.get suspect snd) acc))
+      Tuple.Map.empty pairs
+  in
+  read pairs ~original ~observed ~length
+
+(* log C(n,k) via lgamma-free accumulation to stay in float range. *)
+let log_choose n k =
+  let k = min k (n - k) in
+  let acc = ref 0. in
+  for i = 1 to k do
+    acc := !acc +. log (float_of_int (n - k + i)) -. log (float_of_int i)
+  done;
+  !acc
+
+let binomial_tail_p ~p ~trials ~successes =
+  if successes <= 0 then 1.
+  else if successes > trials then 0.
+  else begin
+    let lp = log p and lq = log (1. -. p) in
+    let total = ref 0. in
+    for k = successes to trials do
+      total :=
+        !total
+        +. exp
+             (log_choose trials k
+             +. (float_of_int k *. lp)
+             +. (float_of_int (trials - k) *. lq))
+    done;
+    min 1. !total
+  end
+
+let binomial_tail ~trials ~successes = binomial_tail_p ~p:0.5 ~trials ~successes
+
+let match_pvalue ~expected verdict =
+  let n = Bitvec.length expected in
+  if n <> Bitvec.length verdict.decoded then
+    invalid_arg "Detector.match_pvalue: length mismatch";
+  let agree = n - Codec.hamming expected verdict.decoded in
+  binomial_tail ~trials:n ~successes:agree
+
+let is_marked ?(alpha = 0.01) verdict =
+  let read = verdict.strong + verdict.weak + verdict.silent in
+  (* Null hypothesis: no mark.  A pair shows the exact antisymmetric +-2
+     signature only if the two weights independently drifted by +-1 in
+     opposite directions — probability 2/9 under uniform +-1 noise, 0 for
+     an exact copy; 1/4 is a conservative ceiling.  Strong carriers beyond
+     what that explains reject the null. *)
+  binomial_tail_p ~p:0.25 ~trials:read ~successes:verdict.strong < alpha

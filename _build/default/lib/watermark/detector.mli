@@ -1,0 +1,53 @@
+(** Detection statistics: confidence and false-positive control.
+
+    The schemes' [detect] functions return the most likely message; a real
+    owner also needs to know {e whether there is a mark at all} before
+    accusing anyone.  Definition 2 allows the detector a failure
+    probability delta, and Fact 1's limited-knowledge assumption bounds the
+    chance beta that an innocent server's data looks gamma-close to a
+    marked copy.  This module quantifies both from the observable signal:
+    each selected pair should show a weight-difference of exactly (+1,-1)
+    or (-1,+1); anything else is noise.
+
+    A pair is a {e strong} carrier when the observed difference
+    delta(fst) - delta(snd) is exactly +-2 (an intact orientation), {e weak}
+    when it is nonzero but not +-2 (damaged but readable by sign), and
+    {e silent} when it is 0 (no signal — what unrelated data shows on
+    almost every pair).  Under the null hypothesis "no mark", each pair's
+    sign is a fair coin at best, so the binomial tail on sign-consistency
+    gives a p-value for ownership claims. *)
+
+type verdict = {
+  decoded : Bitvec.t;
+  strong : int;  (** pairs with an intact +-2 difference *)
+  weak : int;  (** damaged but sign-readable pairs *)
+  silent : int;  (** pairs with zero difference *)
+  confidence : float;  (** (strong + weak) / pairs read *)
+}
+
+val read :
+  Pairing.pair list -> original:Weighted.t -> observed:int Tuple.Map.t ->
+  length:int -> verdict
+(** Decode [length] bits from the pair list, classifying each carrier.
+    Missing observations count as silent. *)
+
+val read_weights :
+  Pairing.pair list -> original:Weighted.t -> suspect:Weighted.t ->
+  length:int -> verdict
+
+val binomial_tail : trials:int -> successes:int -> float
+(** P[X >= successes] for X ~ Binomial(trials, 1/2) — the null-hypothesis
+    p-value of observing that much sign agreement by chance. *)
+
+val binomial_tail_p : p:float -> trials:int -> successes:int -> float
+(** General-[p] upper tail. *)
+
+val match_pvalue : expected:Bitvec.t -> verdict -> float
+(** p-value of the decoded message agreeing with [expected] as much as it
+    does, under the no-mark null.  Small value = confident accusation. *)
+
+val is_marked : ?alpha:float -> verdict -> bool
+(** Does the carrier signal itself (ignoring the message value) reject the
+    no-mark null at level [alpha] (default 0.01)?  Tests the {e strong}
+    count against the conservative ceiling 1/4 on the chance that
+    unrelated 1-local noise fakes an exact +-2 antisymmetric pair. *)

@@ -1,0 +1,71 @@
+let propagate ~original ~marked ~updated =
+  let support =
+    List.sort_uniq Tuple.compare
+      (Weighted.support original @ Weighted.support marked
+     @ Weighted.support updated)
+  in
+  List.fold_left
+    (fun w t ->
+      let delta = Weighted.get marked t - Weighted.get original t in
+      if delta = 0 then w else Weighted.add_delta w t delta)
+    updated support
+
+let type_set g ~rho ~arity =
+  let ix = Neighborhood.index_universe g ~rho ~arity in
+  let gf = Gaifman.of_structure g in
+  Array.map
+    (fun rep -> Neighborhood.of_tuple g gf ~rho rep)
+    ix.Neighborhood.representatives
+
+let type_preserving ~rho ~arity g1 g2 =
+  let reps1 = type_set g1 ~rho ~arity and reps2 = type_set g2 ~rho ~arity in
+  let covered a b =
+    Array.for_all
+      (fun (na : Neighborhood.nbh) ->
+        Array.exists
+          (fun (nb : Neighborhood.nbh) ->
+            Iso.isomorphic na.sub na.center nb.sub nb.center)
+          b)
+      a
+  in
+  covered reps1 reps2 && covered reps2 reps1
+
+let update_decision ~rho ~arity ~old_graph ~new_graph =
+  if type_preserving ~rho ~arity old_graph new_graph then `Keep_mark
+  else `Remark_required
+
+let average a b =
+  let support =
+    List.sort_uniq Tuple.compare (Weighted.support a @ Weighted.support b)
+  in
+  List.fold_left
+    (fun w t ->
+      let va = Weighted.get a t and vb = Weighted.get b t in
+      let avg = if (va + vb) mod 2 = 0 then (va + vb) / 2 else va in
+      Weighted.set w t avg)
+    (Weighted.create (Weighted.arity a))
+    support
+
+let average_many copies =
+  match copies with
+  | [] -> invalid_arg "Incremental.average_many: no copies"
+  | [ single ] -> single
+  | first :: _ ->
+      let k = List.length copies in
+      let support =
+        List.sort_uniq Tuple.compare
+          (List.concat_map Weighted.support copies)
+      in
+      List.fold_left
+        (fun w t ->
+          let sum = List.fold_left (fun s c -> s + Weighted.get c t) 0 copies in
+          let lo = sum / k in
+          let frac2 = 2 * (sum - (lo * k)) in
+          let avg =
+            if frac2 > k then lo + 1
+            else if frac2 < k then lo
+            else Weighted.get first t
+          in
+          Weighted.set w t avg)
+        (Weighted.create (Weighted.arity first))
+        support

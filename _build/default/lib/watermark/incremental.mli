@@ -1,0 +1,42 @@
+(** Incremental watermarking (Section 5).
+
+    Weights-only updates (Theorem 7): when the owner changes base weights
+    but not the structure, re-applying the stored mark deltas to the new
+    weights preserves both the global-distortion certificate and
+    detection.  Structural updates are safe exactly when they are
+    {e type-preserving} (Theorem 8): no neighborhood isomorphism type is
+    created or suppressed, so the canonical parameter set S — hence the
+    S-partition and the detector — still applies.  Otherwise the owner
+    must re-mark, which exposes it to the {e auto-collusion} attack: a
+    server averaging two differently-marked versions cancels the +-1 pair
+    orientations. *)
+
+val propagate :
+  original:Weighted.t -> marked:Weighted.t -> updated:Weighted.t -> Weighted.t
+(** [propagate ~original ~marked ~updated] carries the mark M = marked -
+    original over to the updated weights: result = updated + M (per
+    element over the union of supports). *)
+
+val type_preserving :
+  rho:int -> arity:int -> Structure.t -> Structure.t -> bool
+(** Do the two structures realize exactly the same set of rho-neighborhood
+    isomorphism types on arity-[arity] parameter tuples?  (Multiplicities
+    may differ — the paper only requires that no type appears or
+    disappears.) *)
+
+val update_decision :
+  rho:int -> arity:int -> old_graph:Structure.t -> new_graph:Structure.t ->
+  [ `Keep_mark | `Remark_required ]
+(** Theorem 8's dichotomy, as a decision procedure the owner runs before
+    publishing an update. *)
+
+val average : Weighted.t -> Weighted.t -> Weighted.t
+(** The auto-collusion attack: per-element integer average (rounding
+    toward the first argument).  Averaging two copies with opposite pair
+    orientations erases those bits — the experiment E11 failure case. *)
+
+val average_many : Weighted.t list -> Weighted.t
+(** k-party collusion: per-element mean of all copies, rounded to nearest
+    (ties toward the first copy's value).  With k independent random
+    messages a pair's expected averaged difference shrinks toward 0, and
+    any bit on which the colluders split near-evenly dies. *)

@@ -1,0 +1,124 @@
+type options = Local_scheme.options
+
+type report = {
+  queries : int;
+  rho : int list;
+  ntp : int list;
+  active : int;
+  pairs_available : int;
+  pairs_selected : int;
+  budget : int;
+  max_split : int;
+}
+
+type t = {
+  systems : Query_system.t list;
+  combined : Query_system.t;
+  selected : Pairing.pair list;
+  rep : report;
+}
+
+(* Disjoint union of query systems: parameters carry their query index as
+   a leading component.  Result sets (hence active sets, split counts,
+   distortion) are untouched — only parameter identity is enriched. *)
+let tag i a = Tuple.concat (Tuple.singleton i) a
+
+let combined_of systems =
+  let arr = Array.of_list systems in
+  let params =
+    List.concat
+      (List.mapi
+         (fun i qs -> List.map (tag i) (Query_system.params qs))
+         systems)
+  in
+  Query_system.of_custom ~params
+    ~result_set:(fun tagged ->
+      let i = tagged.(0) in
+      let a = Array.sub tagged 1 (Array.length tagged - 1) in
+      Query_system.result_set arr.(i) a)
+    ~weight_arity:(Query_system.weight_arity (List.hd systems))
+
+let prepare ?(options = Local_scheme.default_options) (ws : Weighted.structure)
+    queries =
+  let g = ws.Weighted.graph in
+  if queries = [] then Error "no queries"
+  else if
+    List.exists
+      (fun q -> Query.result_arity q <> Weighted.arity ws.Weighted.weights)
+      queries
+  then Error "some query's result arity differs from the weight arity"
+  else begin
+    let systems = List.map (Query_system.of_relational g) queries in
+    let combined = combined_of systems in
+    if Query_system.active combined = [] then
+      Error "queries have no active weighted elements"
+    else begin
+      let rhos =
+        List.map
+          (fun q ->
+            match options.Local_scheme.rho with
+            | Some r -> r
+            | None -> Locality.best_rank q.Query.phi)
+          queries
+      in
+      let indexes =
+        List.map2
+          (fun q rho -> Neighborhood.index g ~rho (Query.all_params g q))
+          queries rhos
+      in
+      let canonical =
+        List.concat
+          (List.mapi
+             (fun i ix ->
+               List.map (tag i)
+                 (Array.to_list ix.Neighborhood.representatives))
+             indexes)
+      in
+      let all_pairs = Pairing.s_partition combined ~canonical in
+      let budget =
+        int_of_float (ceil (1.0 /. options.Local_scheme.epsilon))
+      in
+      let selected =
+        Pairing.select_greedy
+          (Prng.create options.Local_scheme.seed)
+          combined all_pairs ~budget
+      in
+      if selected = [] then Error "no pair survived eps-good selection"
+      else
+        Ok
+          {
+            systems;
+            combined;
+            selected;
+            rep =
+              {
+                queries = List.length queries;
+                rho = rhos;
+                ntp = List.map Neighborhood.ntp indexes;
+                active = List.length (Query_system.active combined);
+                pairs_available = List.length all_pairs;
+                pairs_selected = List.length selected;
+                budget;
+                max_split = Pairing.max_split combined selected;
+              };
+          }
+    end
+  end
+
+let report t = t.rep
+let capacity t = List.length t.selected
+let pairs t = t.selected
+
+let mark t message w =
+  Weighted.apply_marks w (Pairing.orientation_marks t.selected message)
+
+let detect_weights t ~original ~suspect ~length =
+  if length > capacity t then
+    invalid_arg "Multi_scheme.detect_weights: length exceeds capacity";
+  let observed =
+    Query_system.reconstruct t.combined (Query_system.server t.combined suspect)
+  in
+  (Detector.read t.selected ~original ~observed ~length).Detector.decoded
+
+let distortion t w w' =
+  List.mapi (fun i qs -> (i, Distortion.global qs w w')) t.systems

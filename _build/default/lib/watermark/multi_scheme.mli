@@ -1,0 +1,44 @@
+(** Preserving several registered queries at once.
+
+    The paper treats one query psi "without loss of generality, ...
+    extension to several queries psi_1, ..., psi_k is straightforward by
+    simple projection techniques".  Concretely: tag every parameter with
+    its query's index, take canonical parameters per query, classes become
+    vectors over all queries' canonical result sets, and eps-goodness is
+    certified against every (query, parameter) pair.  A pair marking that
+    survives selection then bounds the distortion of {e each} registered
+    query by the budget simultaneously. *)
+
+type options = Local_scheme.options
+
+type t
+
+type report = {
+  queries : int;
+  rho : int list;  (** locality rank used per query *)
+  ntp : int list;  (** canonical parameters per query *)
+  active : int;  (** |W| = union of the queries' active sets *)
+  pairs_available : int;
+  pairs_selected : int;
+  budget : int;
+  max_split : int;  (** worst split over all queries' parameters *)
+}
+
+val prepare :
+  ?options:options -> Weighted.structure -> Query.t list -> (t, string) result
+(** All queries must share the weight arity; at least one query. *)
+
+val report : t -> report
+val capacity : t -> int
+val pairs : t -> Pairing.pair list
+
+val mark : t -> Bitvec.t -> Weighted.t -> Weighted.t
+
+val detect_weights :
+  t -> original:Weighted.t -> suspect:Weighted.t -> length:int -> Bitvec.t
+(** Reads the mark back using only the answers the suspect would give to
+    the registered queries (all of them). *)
+
+val distortion : t -> Weighted.t -> Weighted.t -> (int * int) list
+(** Per-query global distortion (query index, max |f' - f|) — for checking
+    the simultaneous certificate. *)

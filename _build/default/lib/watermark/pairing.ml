@@ -1,0 +1,94 @@
+type pair = { fst : Tuple.t; snd : Tuple.t }
+
+let classes qs ~canonical =
+  let canon_sets =
+    List.mapi (fun i a -> (i, Query_system.result_set qs a)) canonical
+  in
+  List.map
+    (fun w ->
+      let cl =
+        List.filter_map
+          (fun (i, s) -> if Tuple.Set.mem w s then Some i else None)
+          canon_sets
+      in
+      (w, cl))
+    (Query_system.active qs)
+
+let s_partition qs ~canonical =
+  let by_class = Hashtbl.create 16 in
+  List.iter
+    (fun (w, cl) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_class cl) in
+      Hashtbl.replace by_class cl (w :: prev))
+    (classes qs ~canonical);
+  let pairs = ref [] in
+  Hashtbl.iter
+    (fun _ ws ->
+      let rec pair_up = function
+        | a :: b :: rest ->
+            pairs := { fst = a; snd = b } :: !pairs;
+            pair_up rest
+        | _ -> ()
+      in
+      (* Keep deterministic order inside the group. *)
+      pair_up (List.sort Tuple.compare ws))
+    by_class;
+  List.sort (fun p q -> Tuple.compare p.fst q.fst) !pairs
+
+let orientation_marks pairs message =
+  let l = Bitvec.length message in
+  if l > List.length pairs then
+    invalid_arg "Pairing.orientation_marks: message longer than capacity";
+  List.concat
+    (List.mapi
+       (fun i { fst; snd } ->
+         if i >= l then []
+         else if Bitvec.get message i then [ (fst, 1); (snd, -1) ]
+         else [ (fst, -1); (snd, 1) ])
+       pairs)
+
+let split_counts qs pairs =
+  List.map
+    (fun a ->
+      let s = Query_system.result_set qs a in
+      let count =
+        List.fold_left
+          (fun acc { fst; snd } ->
+            if Tuple.Set.mem fst s <> Tuple.Set.mem snd s then acc + 1 else acc)
+          0 pairs
+      in
+      (a, count))
+    (Query_system.params qs)
+
+let max_split qs pairs =
+  List.fold_left (fun acc (_, c) -> max acc c) 0 (split_counts qs pairs)
+
+let select_random g qs pairs ~p ~budget =
+  let chosen = List.filter (fun _ -> Prng.bernoulli g p) pairs in
+  if max_split qs chosen <= budget then Some chosen else None
+
+let select_greedy g qs pairs ~budget =
+  let arr = Array.of_list pairs in
+  Prng.shuffle g arr;
+  (* Incremental split counts per parameter. *)
+  let params = Array.of_list (Query_system.params qs) in
+  let split = Array.make (Array.length params) 0 in
+  let member_sets = Array.map (Query_system.result_set qs) params in
+  let chosen = ref [] in
+  Array.iter
+    (fun pr ->
+      let touches =
+        Array.to_list
+          (Array.mapi
+             (fun i s ->
+               if Tuple.Set.mem pr.fst s <> Tuple.Set.mem pr.snd s then Some i
+               else None)
+             member_sets)
+        |> List.filter_map Fun.id
+      in
+      if List.for_all (fun i -> split.(i) + 1 <= budget) touches then begin
+        List.iter (fun i -> split.(i) <- split.(i) + 1) touches;
+        chosen := pr :: !chosen
+      end)
+    arr;
+  List.sort (fun p q -> Tuple.compare p.fst q.fst) !chosen

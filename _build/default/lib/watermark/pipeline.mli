@@ -1,0 +1,45 @@
+(** End-to-end helpers: the five-minute API.
+
+    These wrap the full paper pipeline for the two document kinds:
+
+    - relational: structure + FO query --(Theorem 3)--> marked structure;
+    - XML: document + pattern --(encode, compile, Theorem 5)--> marked
+      document.
+
+    Preparation is deterministic given (document, query, options), so the
+    owner re-runs it at detection time and reads the mark from the suspect
+    server's answers. *)
+
+(** {1 Relational documents} *)
+
+val mark_relational :
+  ?options:Local_scheme.options ->
+  Weighted.structure -> Query.t -> message:Bitvec.t ->
+  (Local_scheme.t * Weighted.structure, string) result
+(** Prepare and embed; fails if the message exceeds capacity. *)
+
+val detect_relational :
+  Local_scheme.t -> original:Weighted.structure -> suspect:Weighted.structure ->
+  length:int -> Bitvec.t
+
+(** {1 XML documents} *)
+
+type xml_scheme = {
+  scheme : Tree_scheme.t;
+  binary : Wm_trees.Btree.t;  (** abstract binary view of the original *)
+  pattern : Wm_xml.Pattern.t;
+}
+
+val prepare_xml :
+  ?options:Tree_scheme.options ->
+  Wm_xml.Utree.t -> Wm_xml.Pattern.t -> (xml_scheme, string) result
+
+val mark_xml : xml_scheme -> message:Bitvec.t -> Wm_xml.Utree.t -> Wm_xml.Utree.t
+(** Rewrites the value nodes of the document (which must be the prepared
+    document or a weights-only update of it). *)
+
+val detect_xml :
+  xml_scheme -> original:Wm_xml.Utree.t -> suspect:Wm_xml.Utree.t ->
+  length:int -> Bitvec.t
+(** The suspect document must be structurally identical (weights-only
+    distortions) — the paper's model where structure is parameter data. *)

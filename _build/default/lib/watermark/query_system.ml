@@ -1,0 +1,70 @@
+type t = {
+  params : Tuple.t list;
+  result_fn : Tuple.t -> Tuple.Set.t;
+  weight_arity : int;
+  cache : Tuple.Set.t Tuple.Hashtbl.t;
+  mutable active : Tuple.Set.t option;
+}
+
+let make params result_fn weight_arity =
+  {
+    params;
+    result_fn;
+    weight_arity;
+    cache = Tuple.Hashtbl.create (List.length params);
+    active = None;
+  }
+
+let of_relational g q =
+  make (Query.all_params g q) (Query.result_set g q) (Query.result_arity q)
+
+let of_tree tq tree =
+  make
+    (Wm_trees.Tree_query.all_params tq tree)
+    (Wm_trees.Tree_query.result_set tq tree)
+    (Wm_trees.Tree_query.s tq)
+
+let of_custom ~params ~result_set ~weight_arity =
+  make params result_set weight_arity
+
+let params t = t.params
+let weight_arity t = t.weight_arity
+
+let result_set t a =
+  match Tuple.Hashtbl.find_opt t.cache a with
+  | Some s -> s
+  | None ->
+      let s = t.result_fn a in
+      Tuple.Hashtbl.replace t.cache a s;
+      s
+
+let active_set t =
+  match t.active with
+  | Some s -> s
+  | None ->
+      let s =
+        List.fold_left
+          (fun acc a -> Tuple.Set.union acc (result_set t a))
+          Tuple.Set.empty t.params
+      in
+      t.active <- Some s;
+      s
+
+let active t = Tuple.Set.elements (active_set t)
+
+let f t w a =
+  Tuple.Set.fold (fun b acc -> acc + Weighted.get w b) (result_set t a) 0
+
+type server = Tuple.t -> (Tuple.t * int) list
+
+let server t w a =
+  Tuple.Set.fold (fun b acc -> (b, Weighted.get w b) :: acc) (result_set t a) []
+  |> List.rev
+
+let reconstruct_some _t srv params =
+  List.fold_left
+    (fun acc a ->
+      List.fold_left (fun acc (b, v) -> Tuple.Map.add b v acc) acc (srv a))
+    Tuple.Map.empty params
+
+let reconstruct t srv = reconstruct_some t srv t.params

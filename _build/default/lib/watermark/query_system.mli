@@ -1,0 +1,63 @@
+(** The interface watermarking schemes program against.
+
+    Both instantiations of the paper — FO queries over relational
+    structures (Section 3) and automaton queries over trees (Section 4) —
+    present the same surface to a marker/detector: a set of possible
+    parameters, a result-set function W_a, and weights.  A query system
+    value captures that surface once, with memoized result sets (the
+    evaluator is called once per parameter, and the cost is the substrate's
+    to report, not to hide).
+
+    The {e server} type models the data server of the 3-tier setting: the
+    only thing a detector may touch.  A server answers a parameter with
+    A_a = { (b, W(b)) : b in W_a } and nothing else; detectors reconstruct
+    active weights exclusively through {!reconstruct}. *)
+
+type t
+
+val of_relational : Structure.t -> Query.t -> t
+(** Parameters are all of U^r. *)
+
+val of_tree : Wm_trees.Tree_query.t -> Wm_trees.Btree.t -> t
+(** Parameters are all k-tuples of nodes. *)
+
+val of_custom :
+  params:Tuple.t list -> result_set:(Tuple.t -> Tuple.Set.t) ->
+  weight_arity:int -> t
+(** Escape hatch for synthetic families (the Remark 1 experiment). *)
+
+val params : t -> Tuple.t list
+val weight_arity : t -> int
+
+val result_set : t -> Tuple.t -> Tuple.Set.t
+(** W_a (memoized). *)
+
+val active : t -> Tuple.t list
+(** W as a sorted list. *)
+
+val active_set : t -> Tuple.Set.t
+
+val f : t -> Weighted.t -> Tuple.t -> int
+(** f_(G,W)(a) = sum of weights over W_a. *)
+
+(** {1 Servers} *)
+
+type server = Tuple.t -> (Tuple.t * int) list
+(** What a data server exposes to final users. *)
+
+val server : t -> Weighted.t -> server
+(** An honest server over the given (possibly marked, possibly attacked)
+    weights. *)
+
+val reconstruct : t -> server -> int Tuple.Map.t
+(** Observed weight of every active element, obtained by querying the
+    server on every parameter — the paper's "the active weights can always
+    be recovered by asking A_a for all possible values of a".  When answers
+    disagree across parameters (a cheating server), the value seen last in
+    parameter order wins; honest servers are consistent. *)
+
+val reconstruct_some : t -> server -> Tuple.t list -> int Tuple.Map.t
+(** Like {!reconstruct} but asking only the listed parameters — a detector
+    on a query budget (a real owner probing a pirate site cannot fire
+    millions of requests).  Elements not covered by any asked parameter are
+    absent from the map and read as silent carriers downstream. *)

@@ -1,0 +1,50 @@
+type base = {
+  capacity : int;
+  embed : Bitvec.t -> Weighted.t -> Weighted.t;
+  extract : original:Weighted.t -> server:Query_system.server -> Bitvec.t;
+}
+
+let of_local scheme =
+  {
+    capacity = Local_scheme.capacity scheme;
+    embed = (fun m w -> Local_scheme.mark scheme m w);
+    extract =
+      (fun ~original ~server ->
+        Local_scheme.detect scheme ~original ~server
+          ~length:(Local_scheme.capacity scheme));
+  }
+
+let of_tree scheme =
+  {
+    capacity = Tree_scheme.capacity scheme;
+    embed = (fun m w -> Tree_scheme.mark scheme m w);
+    extract =
+      (fun ~original ~server ->
+        Tree_scheme.detect scheme ~original ~server
+          ~length:(Tree_scheme.capacity scheme));
+  }
+
+let redundancy_for base ~message_length =
+  if message_length <= 0 then invalid_arg "Robust.redundancy_for";
+  let r = max 1 (base.capacity / message_length) in
+  if r mod 2 = 0 then max 1 (r - 1) else r
+
+let pad v n =
+  let out = Bitvec.create n in
+  for i = 0 to min (Bitvec.length v) n - 1 do
+    Bitvec.set out i (Bitvec.get v i)
+  done;
+  out
+
+let mark base ~times message w =
+  let l = Bitvec.length message in
+  if times * l > base.capacity then invalid_arg "Robust.mark: over capacity";
+  base.embed (pad (Codec.repeat ~times message) base.capacity) w
+
+let detect base ~times ~length ~original ~server =
+  let raw = base.extract ~original ~server in
+  let used = Bitvec.create (times * length) in
+  for i = 0 to (times * length) - 1 do
+    Bitvec.set used i (Bitvec.get raw i)
+  done;
+  Codec.majority_decode ~times used

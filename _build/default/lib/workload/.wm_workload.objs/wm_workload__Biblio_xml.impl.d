@@ -1,0 +1,1 @@
+lib/workload/biblio_xml.ml: Array List Pattern Printf Prng Utree Wm_xml Xml

@@ -1,0 +1,1 @@
+lib/workload/biblio_xml.mli: Prng Wm_xml

@@ -1,0 +1,1 @@
+lib/workload/bipartite.ml: Array Fo Prng Query Schema Structure Tuple Weighted

@@ -1,0 +1,1 @@
+lib/workload/bipartite.mli: Prng Query Weighted

@@ -1,0 +1,1 @@
+lib/workload/grid.ml: Fo Query Schema Structure Tuple Weighted

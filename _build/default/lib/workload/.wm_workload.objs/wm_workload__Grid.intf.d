@@ -1,0 +1,1 @@
+lib/workload/grid.mli: Query Weighted

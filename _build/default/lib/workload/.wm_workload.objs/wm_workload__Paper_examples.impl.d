@@ -1,0 +1,1 @@
+lib/workload/paper_examples.ml: Array Fo List Query Schema Structure Tuple Weighted

@@ -1,0 +1,1 @@
+lib/workload/random_struct.ml: Array Fo Hashtbl Prng Query Schema Structure Tuple Weighted

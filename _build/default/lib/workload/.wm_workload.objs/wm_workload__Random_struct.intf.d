@@ -1,0 +1,1 @@
+lib/workload/random_struct.mli: Prng Query Weighted

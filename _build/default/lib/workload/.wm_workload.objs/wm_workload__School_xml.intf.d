@@ -1,0 +1,1 @@
+lib/workload/school_xml.mli: Prng Wm_xml

@@ -1,0 +1,1 @@
+lib/workload/shatter.ml: Fo List Query Schema Structure Tuple Weighted

@@ -1,0 +1,1 @@
+lib/workload/shatter.mli: Query Weighted

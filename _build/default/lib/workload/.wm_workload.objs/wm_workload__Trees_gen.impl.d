@@ -1,0 +1,1 @@
+lib/workload/trees_gen.ml: Array Btree Prng Weighted Wm_trees

@@ -1,0 +1,1 @@
+lib/workload/trees_gen.mli: Prng Weighted Wm_trees

@@ -1,0 +1,33 @@
+open Wm_xml
+
+let pattern = Pattern.parse "bibliography//article[author=$a]/citations"
+
+let default_authors =
+  [ "Codd"; "Fagin"; "Vardi"; "Abiteboul"; "Libkin"; "Grohe"; "Vianu";
+    "Immerman"; "Papadimitriou"; "Courcelle" ]
+
+let article g authors i =
+  Xml.element "article"
+    [
+      Xml.element "author" [ Xml.text (Prng.choose g authors) ];
+      Xml.element "title" [ Xml.text (Printf.sprintf "On Problem %04d" i) ];
+      Xml.element "citations" [ Xml.int_text (Prng.int g 100) ];
+    ]
+
+let generate g ~articles ?(authors = default_authors) () =
+  let pool = Array.of_list authors in
+  let groups = max 1 ((articles + 7) / 8) in
+  let next = ref 0 in
+  let year y =
+    let here = min 8 (articles - !next) in
+    let arts =
+      List.init here (fun _ ->
+          let i = !next in
+          incr next;
+          article g pool i)
+    in
+    (* Non-numeric label text so year labels never count as value nodes. *)
+    Xml.element "year"
+      (Xml.element "label" [ Xml.text (Printf.sprintf "y%d" (1990 + y)) ] :: arts)
+  in
+  Utree.of_xml (Xml.element "bibliography" (List.init groups year))

@@ -1,0 +1,18 @@
+(** A bibliography XML workload (DBLP-flavored).
+
+    A second, deeper document family for the XML experiments: articles
+    nested under year groups under a root, with citation counts as the
+    weighted values and the author name as the parameter —
+
+    {v bibliography//article[author=$a]/citations v}
+
+    The descendant axis is load-bearing here (articles sit at depth 2),
+    which the paper's flat school example never exercises. *)
+
+val pattern : Wm_xml.Pattern.t
+
+val generate :
+  Prng.t -> articles:int -> ?authors:string list -> unit -> Wm_xml.Utree.t
+(** Articles spread over ceil(articles/8) year groups; authors drawn from
+    the pool (default 10 names), titles unique, citation counts uniform in
+    0..99. *)

@@ -1,0 +1,52 @@
+type t = { n : int; adj : bool array array }
+
+let random g ~n ~p =
+  if n < 1 then invalid_arg "Bipartite.random";
+  { n; adj = Array.init n (fun _ -> Array.init n (fun _ -> Prng.bernoulli g p)) }
+
+let complete n = { n; adj = Array.make_matrix n n true }
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+(* Ryser's formula: perm(A) = (-1)^n sum_{S subseteq cols} (-1)^|S|
+   prod_i sum_{j in S} A_ij. *)
+let permanent { n; adj } =
+  if n > 20 then invalid_arg "Bipartite.permanent: n > 20";
+  let total = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let prod = ref 1 in
+    (try
+       for i = 0 to n - 1 do
+         let row = ref 0 in
+         for j = 0 to n - 1 do
+           if (mask lsr j) land 1 = 1 && adj.(i).(j) then incr row
+         done;
+         if !row = 0 then raise Exit;
+         prod := !prod * !row
+       done
+     with Exit -> prod := 0);
+    let parity = if (n - popcount mask) land 1 = 1 then -1 else 1 in
+    total := !total + (parity * !prod)
+  done;
+  !total
+
+let to_marking_problem { n; adj } =
+  let schema = Schema.make ~weight_arity:2 [ { Schema.name = "E"; arity = 2 } ] in
+  let g = ref (Structure.create schema (2 * n)) in
+  let w = ref (Weighted.create 2) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if adj.(i).(j) then begin
+        g := Structure.add_tuple !g "E" (Tuple.pair i (n + j));
+        w := Weighted.set !w (Tuple.pair i (n + j)) 1
+      end
+    done
+  done;
+  let open Fo in
+  let q =
+    Query.make ~params:[ "u" ] ~results:[ "v1"; "v2" ]
+      (atom "E" [ "v1"; "v2" ] &&& (eq "u" "v1" ||| eq "u" "v2"))
+  in
+  (Weighted.make !g !w, q)

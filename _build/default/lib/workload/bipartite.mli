@@ -1,0 +1,27 @@
+(** Bipartite graphs and the Theorem 1 reduction input (experiment E2).
+
+    Theorem 1 reduces PERMANENT (counting perfect matchings) to computing
+    the watermarking capacity #Mark(=d): the reduction's marking problem
+    has one "query" W_a per left vertex a, namely the set of edges incident
+    to a... realized here as the parametric query over a structure whose
+    weighted elements are the {e edges} (encoded as result pairs). *)
+
+type t = { n : int; adj : bool array array }
+(** A balanced bipartite graph: [adj.(i).(j)] = edge between left i and
+    right j. *)
+
+val random : Prng.t -> n:int -> p:float -> t
+(** Each edge present independently with probability [p]. *)
+
+val complete : int -> t
+
+val permanent : t -> int
+(** Number of perfect matchings, by Ryser's inclusion-exclusion formula
+    (O(2^n n^2)); n <= 20. *)
+
+val to_marking_problem : t -> Weighted.structure * Query.t
+(** The reduction: universe = left vertices + right vertices; weighted
+    elements are edge pairs (i, j) (weight arity 2, all weights 1);
+    psi(u; v1, v2) = E(v1, v2) & (u = v1 | u = v2), so W_u is the set of
+    edges incident to u, for both sides — matching the proof's
+    "for all a in U, W_a = {(u,v) : E(u,v)}" family. *)

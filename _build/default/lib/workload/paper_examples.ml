@@ -1,0 +1,140 @@
+(* Example 1: the travel database.  Element ids follow [names] below. *)
+
+let names =
+  [|
+    (* travels: 0-2 *)
+    "India discovery";
+    "Nepal Trek";
+    "TourNepal";
+    (* transports: 3-8 *)
+    "F21";
+    "G12";
+    "R5";
+    "F2";
+    "T33";
+    "G13";
+    (* cities: 9-14 *)
+    "Paris";
+    "Delhi";
+    "Nawalgarh";
+    "Kathmandu";
+    "Simikot";
+    "Daman";
+    (* transport types: 15-17 *)
+    "plane";
+    "bus";
+    "jeep";
+  |]
+
+let id name =
+  let rec go i =
+    if i = Array.length names then invalid_arg ("unknown name " ^ name)
+    else if names.(i) = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let minutes h m = (h * 60) + m
+
+let routes =
+  [
+    ("India discovery", "F21");
+    ("India discovery", "G12");
+    ("Nepal Trek", "F21");
+    ("Nepal Trek", "R5");
+    ("Nepal Trek", "F2");
+    ("TourNepal", "F2");
+    ("TourNepal", "T33");
+  ]
+
+let timetable_rows =
+  [
+    ("F21", "Paris", "Delhi", "plane");
+    ("G12", "Delhi", "Nawalgarh", "bus");
+    ("R5", "Delhi", "Kathmandu", "plane");
+    ("F2", "Kathmandu", "Simikot", "plane");
+    ("T33", "Kathmandu", "Daman", "jeep");
+    ("G13", "Kathmandu", "Paris", "plane");
+  ]
+
+let durations =
+  [
+    ("F21", minutes 10 35);
+    ("G12", minutes 6 20);
+    ("R5", minutes 6 15);
+    ("F2", minutes 3 30);
+    ("T33", minutes 2 50);
+    ("G13", minutes 10 0);
+  ]
+
+let travel_structure () =
+  let g = Structure.create ~names Schema.travel (Array.length names) in
+  let g =
+    List.fold_left
+      (fun g (t, tr) -> Structure.add_tuple g "Route" (Tuple.pair (id t) (id tr)))
+      g routes
+  in
+  List.fold_left
+    (fun g (tr, dep, arr, ty) ->
+      Structure.add_tuple g "Timetable"
+        (Tuple.of_list [ id tr; id dep; id arr; id ty ]))
+    g timetable_rows
+
+let with_durations rows =
+  let w =
+    List.fold_left
+      (fun w (tr, d) -> Weighted.set_elt w (id tr) d)
+      (Weighted.create 1) rows
+  in
+  Weighted.make (travel_structure ()) w
+
+let travel = with_durations durations
+
+let travel_query =
+  Query.make ~params:[ "u" ] ~results:[ "v" ] (Fo.atom "Route" [ "u"; "v" ])
+
+let travel_of ws name = Query.f ws travel_query (Tuple.singleton (id name))
+
+(* Example 3's two distortions of the timetable. *)
+
+let timetable' =
+  with_durations
+    [
+      ("F21", minutes 10 45);
+      ("G12", minutes 6 30);
+      ("R5", minutes 6 25);
+      ("F2", minutes 3 20);
+      ("T33", minutes 3 0);
+      ("G13", minutes 10 0);
+    ]
+
+let timetable'' =
+  with_durations
+    [
+      ("F21", minutes 10 25);
+      ("G12", minutes 6 30);
+      ("R5", minutes 6 5);
+      ("F2", minutes 3 40);
+      (* The published table prints 3:00 here, but that would give TourNepal
+         a 0:20 global distortion, contradicting the example's own claim
+         that Timetable'' is 0:10-global; 2:40 restores the claim. *)
+      ("T33", minutes 2 40);
+      ("G13", minutes 10 10);
+    ]
+
+(* Figures 1-4: the six-element undirected graph. *)
+
+let figure1_names = [| "a"; "b"; "c"; "d"; "e"; "f" |]
+
+let figure1_query =
+  Query.make ~params:[ "u" ] ~results:[ "v" ] (Fo.atom "E" [ "u"; "v" ])
+
+let figure1 =
+  let edges = [ (0, 3); (0, 4); (1, 3); (1, 4); (2, 3); (4, 5) ] in
+  let g = Structure.create ~names:figure1_names Schema.graph 6 in
+  let g =
+    List.fold_left
+      (fun g (x, y) -> Structure.add_pairs g "E" [ (x, y); (y, x) ])
+      g edges
+  in
+  Weighted.weigh (fun _ -> 10) g

@@ -1,0 +1,46 @@
+(** The worked examples of the paper, verbatim.
+
+    These instances anchor the test suite and experiment E1: every number
+    the paper prints about them (query weights, neighborhood types, the
+    pair marking of Figures 2-4) is asserted against this code. *)
+
+(** {1 Example 1-3: the travel database}
+
+    Schema: Route(travel, transport), Timetable(transport, departure,
+    arrival, type).  The weight attribute is the duration of a transport,
+    modeled in minutes (10:35 -> 635). *)
+
+val travel : Weighted.structure
+(** The instance of Example 1 (universe: 3 travels, 6 transports, 6 cities,
+    3 transport types; named elements). *)
+
+val travel_query : Query.t
+(** psi(u, v) = Route(u, v). *)
+
+val travel_of : Weighted.structure -> string -> int
+(** [travel_of ws name] is f(name) in minutes, e.g.
+    [travel_of travel "India discovery" = 1015] (= 16:55). *)
+
+val timetable' : Weighted.structure
+(** The distortion Timetable' of Example 3: 0:10-local but not 0:10-global
+    (f changes by 0:20 on "India discovery"). *)
+
+val timetable'' : Weighted.structure
+(** The distortion Timetable'' of Example 3: both 0:10-local and
+    0:10-global. *)
+
+(** {1 Figures 1-4: the six-element graph}
+
+    Undirected graph on elements a..f (ids 0..5) with edges
+    a-d, a-e, b-d, b-e, c-d, e-f; query psi(u,v) = E(u,v).
+    With rho = 1 it has exactly three neighborhood types
+    ({a,b}, {d,e}, {c,f}), and the pair (d,e) marked (+1,-1) realizes the
+    zero-distortion trick of Section 3. *)
+
+val figure1 : Weighted.structure
+(** Weights: every element weighs 10 (the paper leaves them symbolic). *)
+
+val figure1_query : Query.t
+
+val figure1_names : string array
+(** [|"a"; ...; "f"|] — display names, index = element id. *)

@@ -1,0 +1,87 @@
+let random_weights g structure =
+  Weighted.weigh (fun _ -> 100 + Prng.int g 900) structure
+
+let graph g ~n ~max_degree ~edges =
+  if n < 2 then invalid_arg "Random_struct.graph: n < 2";
+  let degree = Array.make n 0 in
+  let s = ref (Structure.create Schema.graph n) in
+  let attempts = ref 0 in
+  let placed = ref 0 in
+  let seen = Hashtbl.create (2 * edges) in
+  while !placed < edges && !attempts < 20 * edges do
+    incr attempts;
+    let a = Prng.int g n and b = Prng.int g n in
+    let a, b = (min a b, max a b) in
+    if a <> b && (not (Hashtbl.mem seen (a, b)))
+       && degree.(a) < max_degree && degree.(b) < max_degree
+    then begin
+      Hashtbl.add seen (a, b) ();
+      degree.(a) <- degree.(a) + 1;
+      degree.(b) <- degree.(b) + 1;
+      s := Structure.add_pairs !s "E" [ (a, b); (b, a) ];
+      incr placed
+    end
+  done;
+  random_weights g !s
+
+let regular_rings g ~n =
+  if n < 3 then invalid_arg "Random_struct.regular_rings: n < 3";
+  let s = ref (Structure.create Schema.graph n) in
+  let start = ref 0 in
+  while !start < n do
+    let want = 3 + Prng.int g 6 in
+    let len = min want (n - !start) in
+    let len = if len < 3 then n - !start else len in
+    if len >= 3 then
+      for i = 0 to len - 1 do
+        let a = !start + i and b = !start + ((i + 1) mod len) in
+        s := Structure.add_pairs !s "E" [ (a, b); (b, a) ]
+      done
+    else begin
+      (* Tail shorter than a triangle: close it onto the previous ring by a
+         chain so degrees stay <= 3. *)
+      for i = 0 to len - 1 do
+        let a = !start + i in
+        let b = if i = 0 then !start - 1 else a - 1 in
+        s := Structure.add_pairs !s "E" [ (a, b); (b, a) ]
+      done
+    end;
+    start := !start + len
+  done;
+  random_weights g !s
+
+let travel_query =
+  Query.make ~params:[ "u" ] ~results:[ "v" ] (Fo.atom "Route" [ "u"; "v" ])
+
+let travel g ~travels ~transports =
+  if travels < 1 || transports < 1 then invalid_arg "Random_struct.travel";
+  let cities = max 2 (int_of_float (sqrt (float_of_int transports))) in
+  let types = 3 in
+  let n = travels + transports + cities + types in
+  let travel_id i = i in
+  let transport_id i = travels + i in
+  let city_id i = travels + transports + i in
+  let type_id i = travels + transports + cities + i in
+  let s = ref (Structure.create Schema.travel n) in
+  for t = 0 to transports - 1 do
+    let dep = Prng.int g cities in
+    let arr = (dep + 1 + Prng.int g (cities - 1)) mod cities in
+    let ty = Prng.int g types in
+    s :=
+      Structure.add_tuple !s "Timetable"
+        (Tuple.of_list [ transport_id t; city_id dep; city_id arr; type_id ty ])
+  done;
+  for tr = 0 to travels - 1 do
+    let legs = 2 + Prng.int g 4 in
+    for _ = 1 to legs do
+      s :=
+        Structure.add_tuple !s "Route"
+          (Tuple.pair (travel_id tr) (transport_id (Prng.int g transports)))
+    done
+  done;
+  let w = ref (Weighted.create 1) in
+  for t = 0 to transports - 1 do
+    w := Weighted.set_elt !w (transport_id t) (30 + Prng.int g 720)
+  done;
+  (* Inactive elements also carry weights (like G13 in Example 1). *)
+  Weighted.make !s !w

@@ -1,0 +1,24 @@
+(** Random bounded-degree weighted structures — the STRUCT_k workloads of
+    Theorem 3 (experiments E5/E6). *)
+
+val graph :
+  Prng.t -> n:int -> max_degree:int -> edges:int -> Weighted.structure
+(** A random symmetric graph on [n] vertices with at most [edges] edges,
+    inserted uniformly but rejecting any insertion that would push a
+    vertex's degree above [max_degree].  Weights uniform in 100..999. *)
+
+val regular_rings :
+  Prng.t -> n:int -> Weighted.structure
+(** Disjoint rings of pseudo-random sizes 3..8 covering [n] vertices —
+    degree exactly 2, many repeated neighborhood types, the friendliest
+    STRUCT_k case. *)
+
+val travel :
+  Prng.t -> travels:int -> transports:int -> Weighted.structure
+(** A scaled-up travel database in the Example 1 schema: each travel books
+    2-5 transports, each transport gets random endpoints from a city pool
+    of size ~sqrt transports, a type, and a random duration.  Used for
+    Remark 2's 5000-weight scenario and the Agrawal-Kiernan comparison. *)
+
+val travel_query : Query.t
+(** psi(u, v) = Route(u, v) — same as {!Paper_examples.travel_query}. *)

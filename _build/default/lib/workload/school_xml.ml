@@ -1,0 +1,33 @@
+open Wm_xml
+
+let student first last exam =
+  Xml.element "student"
+    [
+      Xml.element "firstname" [ Xml.text first ];
+      Xml.element "lastname" [ Xml.text last ];
+      Xml.element "exam" [ Xml.int_text exam ];
+    ]
+
+let example4 =
+  Utree.of_xml
+    (Xml.element "school"
+       [
+         student "John" "Doe" 11;
+         student "Robert" "Durant" 16;
+         student "Robert" "Smith" 12;
+       ])
+
+let example4_pattern = Pattern.parse "school/student[firstname=$a]/exam"
+
+let default_first_names =
+  [ "John"; "Robert"; "Alice"; "Mary"; "Wei"; "Amina"; "Ravi"; "Sofia" ]
+
+let generate g ~students ?(first_names = default_first_names) () =
+  let pool = Array.of_list first_names in
+  let kids =
+    List.init students (fun i ->
+        student (Prng.choose g pool)
+          (Printf.sprintf "Name%04d" i)
+          (Prng.int g 21))
+  in
+  Utree.of_xml (Xml.element "school" kids)

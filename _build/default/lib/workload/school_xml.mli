@@ -1,0 +1,18 @@
+(** The school XML document of Example 4, and a scalable generator.
+
+    The paper's document: a <school> with students, each carrying
+    <firstname>, <lastname> and a numeric <exam> mark; the parametric query
+    is school/student[firstname=a]/exam and f(Robert) = 28 on the
+    original. *)
+
+val example4 : Wm_xml.Utree.t
+(** The exact document of Example 4 (one school, three students). *)
+
+val example4_pattern : Wm_xml.Pattern.t
+(** school/student[firstname=$a]/exam. *)
+
+val generate :
+  Prng.t -> students:int -> ?first_names:string list -> unit -> Wm_xml.Utree.t
+(** A school with [students] students; first names drawn from the pool
+    (default: 8 common names, so repetitions — the interesting case —
+    appear quickly), last names unique, exam marks uniform in 0..20. *)

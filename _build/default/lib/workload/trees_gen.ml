@@ -1,0 +1,49 @@
+open Wm_trees
+
+let random_spec g ~alphabet ~size =
+  if size < 1 then invalid_arg "Trees_gen.random_spec: size < 1";
+  let letters = Array.of_list alphabet in
+  let letter () = Prng.choose g letters in
+  (* Split the remaining node budget randomly between the two subtrees. *)
+  let rec build n =
+    assert (n >= 1);
+    let lbl = letter () in
+    if n = 1 then Btree.leaf lbl
+    else begin
+      let rest = n - 1 in
+      let to_left = Prng.int g (rest + 1) in
+      let to_right = rest - to_left in
+      if to_left = 0 then Btree.N (lbl, None, Some (build to_right))
+      else if to_right = 0 then Btree.N (lbl, Some (build to_left), None)
+      else Btree.N (lbl, Some (build to_left), Some (build to_right))
+    end
+  in
+  build size
+
+let random_tree g ~alphabet ~size =
+  Btree.of_spec_with_alphabet alphabet (random_spec g ~alphabet ~size)
+
+let random_weights g tree ~lo ~hi =
+  assert (hi >= lo);
+  let w = ref (Weighted.create 1) in
+  for v = 0 to Btree.size tree - 1 do
+    w := Weighted.set_elt !w v (lo + Prng.int g (hi - lo + 1))
+  done;
+  !w
+
+let caterpillar ~alphabet ~size =
+  let letters = Array.of_list alphabet in
+  let letter i = letters.(i mod Array.length letters) in
+  let rec build i =
+    if i = size - 1 then Btree.leaf (letter i)
+    else Btree.N (letter i, Some (build (i + 1)), None)
+  in
+  Btree.of_spec_with_alphabet alphabet (build 0)
+
+let complete ~label ~depth =
+  let rec build d =
+    if d = 1 then Btree.leaf label
+    else Btree.node label (build (d - 1)) (build (d - 1))
+  in
+  if depth < 1 then invalid_arg "Trees_gen.complete: depth < 1";
+  Btree.of_spec (build depth)

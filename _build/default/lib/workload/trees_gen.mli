@@ -1,0 +1,18 @@
+(** Random binary-tree workloads (experiments E7/E8). *)
+
+val random_spec :
+  Prng.t -> alphabet:string list -> size:int -> Wm_trees.Btree.spec
+(** A uniformly-shaped random binary tree with [size] nodes (size >= 1) and
+    independently uniform labels. *)
+
+val random_tree :
+  Prng.t -> alphabet:string list -> size:int -> Wm_trees.Btree.t
+
+val random_weights : Prng.t -> Wm_trees.Btree.t -> lo:int -> hi:int -> Weighted.t
+(** Integer node weights uniform in [lo, hi]. *)
+
+val caterpillar : alphabet:string list -> size:int -> Wm_trees.Btree.t
+(** Left-leaning chain — the worst case for block construction depth. *)
+
+val complete : label:string -> depth:int -> Wm_trees.Btree.t
+(** Perfect binary tree with 2^depth - 1 nodes, single label. *)

@@ -1,0 +1,1 @@
+lib/xml/encode.ml: Btree List String Utree Wm_trees Xml

@@ -1,0 +1,1 @@
+lib/xml/encode.mli: Utree Wm_trees

@@ -1,0 +1,1 @@
+lib/xml/pattern.ml: Array Encode List Mso Mso_compile Printf String Tree_query Utree

@@ -1,0 +1,1 @@
+lib/xml/pattern.mli: Mso Utree Wm_trees

@@ -1,0 +1,1 @@
+lib/xml/utree.ml: Array Format Fun List Printf String Weighted Xml

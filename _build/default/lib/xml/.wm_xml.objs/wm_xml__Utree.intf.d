@@ -1,0 +1,1 @@
+lib/xml/utree.mli: Format Weighted Xml

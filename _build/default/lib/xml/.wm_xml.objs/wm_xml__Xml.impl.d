@@ -1,0 +1,1 @@
+lib/xml/xml.ml: Buffer List Printf String

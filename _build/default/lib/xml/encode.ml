@@ -1,0 +1,68 @@
+open Wm_trees
+
+let text_letter = "#text"
+
+(* Build the FCNS spec for the subtree rooted at [v] followed by the
+   sibling chain [rest]. *)
+let rec fcns_spec labeler (u : Utree.t) v rest : Btree.spec =
+  let first_child =
+    match Utree.children u v with
+    | [] -> None
+    | c :: cs -> Some (fcns_spec labeler u c cs)
+  in
+  let next_sibling =
+    match rest with
+    | [] -> None
+    | s :: ss -> Some (fcns_spec labeler u s ss)
+  in
+  N (labeler v, first_child, next_sibling)
+
+let to_binary_with labeler alphabet u =
+  Btree.of_spec_with_alphabet alphabet (fcns_spec labeler u (Utree.root u) [])
+
+(* Full labels mark text nodes with a "#text:" prefix so the inverse can
+   tell <exam>11</exam>'s text apart from a hypothetical <11/> element. *)
+let full_label u v =
+  if Utree.is_text u v then text_letter ^ ":" ^ Utree.label u v
+  else Utree.label u v
+
+let full_alphabet u =
+  List.sort_uniq compare (List.init (Utree.size u) (full_label u))
+
+let to_binary_full u = to_binary_with (full_label u) (full_alphabet u) u
+
+let constant_letter value = text_letter ^ "=" ^ value
+
+let abstract_alphabet ?(constants = []) u =
+  List.sort_uniq compare
+    ((text_letter :: List.map constant_letter constants) @ Utree.tags u)
+
+let to_binary_abstract ?(constants = []) u =
+  let labeler v =
+    if Utree.is_text u v then
+      if List.mem (Utree.label u v) constants then
+        constant_letter (Utree.label u v)
+      else text_letter
+    else Utree.label u v
+  in
+  to_binary_with labeler (abstract_alphabet ~constants u) u
+
+let of_binary_full b =
+  if Btree.right b (Btree.root b) <> None then
+    invalid_arg "Encode.of_binary_full: root has a sibling";
+  (* Children of v in the unranked tree: left child of v, then its chain of
+     right children. *)
+  let rec chain = function
+    | None -> []
+    | Some c -> c :: chain (Btree.right b c)
+  in
+  let prefix = text_letter ^ ":" in
+  let plen = String.length prefix in
+  let rec to_xml v : Xml.t =
+    let kids = chain (Btree.left b v) in
+    let lbl = Btree.label_name b v in
+    if String.length lbl >= plen && String.sub lbl 0 plen = prefix then
+      Text (String.sub lbl plen (String.length lbl - plen))
+    else Element { tag = lbl; attrs = []; children = List.map to_xml kids }
+  in
+  Utree.of_xml (to_xml (Btree.root b))

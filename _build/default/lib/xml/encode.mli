@@ -1,0 +1,41 @@
+(** Unranked-to-binary tree encoding.
+
+    XML deals with unranked trees; the paper (after [15]) encodes them into
+    binary trees and restricts attention to the binary case.  We use the
+    classical first-child / next-sibling encoding: the binary left child of
+    a node is its first unranked child, the binary right child its next
+    sibling.  With both trees numbered in preorder the node ids coincide,
+    so weights and query answers transfer between the views without
+    translation tables.
+
+    Two label regimes:
+    - {e full}: every distinct label (tags and text contents) is a letter —
+      faithful, used for round-trips;
+    - {e abstract}: element tags are letters, every text node is the letter
+      ["#text"] — the small alphabet tree automata run on.  Pattern queries
+      never need to {e read} text contents because parameters are pebbles
+      (see {!Pattern}). *)
+
+val text_letter : string
+(** ["#text"]. *)
+
+val to_binary_full : Utree.t -> Wm_trees.Btree.t
+(** FCNS encoding with the full label set. *)
+
+val to_binary_abstract : ?constants:string list -> Utree.t -> Wm_trees.Btree.t
+(** FCNS encoding over [tags(doc) + {#text}].  [constants] lists text
+    values the automata must be able to {e read} (the constant predicates
+    of a pattern, e.g. [lastname=Smith]): a text node whose content is a
+    listed constant gets the letter ["#text=<content>"] instead of
+    ["#text"]. *)
+
+val constant_letter : string -> string
+(** ["#text=" ^ value]. *)
+
+val abstract_alphabet : ?constants:string list -> Utree.t -> string list
+(** The letters [to_binary_abstract] uses, sorted: document tags,
+    {!text_letter}, and one {!constant_letter} per constant. *)
+
+val of_binary_full : Wm_trees.Btree.t -> Utree.t
+(** Inverse of {!to_binary_full}: fails with [Invalid_argument] if the
+    binary root has a right child (no sibling of the root exists). *)

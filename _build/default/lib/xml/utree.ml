@@ -1,0 +1,101 @@
+type t = {
+  label : string array;
+  is_text : bool array;
+  children : int array array;
+  parent : int array;
+  attrs : (string * string) list array;
+}
+
+let rec count_nodes (x : Xml.t) =
+  match x with
+  | Text _ -> 1
+  | Element { children; _ } -> 1 + List.fold_left (fun a c -> a + count_nodes c) 0 children
+
+let of_xml doc =
+  let n = count_nodes doc in
+  let label = Array.make n "" in
+  let is_text = Array.make n false in
+  let children = Array.make n [||] in
+  let parent = Array.make n (-1) in
+  let attrs = Array.make n [] in
+  let next = ref 0 in
+  let rec go par (x : Xml.t) =
+    let id = !next in
+    incr next;
+    parent.(id) <- par;
+    (match x with
+    | Text s ->
+        label.(id) <- s;
+        is_text.(id) <- true
+    | Element { tag; children = cs; attrs = ats } ->
+        label.(id) <- tag;
+        attrs.(id) <- ats;
+        children.(id) <- Array.of_list (List.map (go id) cs));
+    id
+  in
+  ignore (go (-1) doc);
+  { label; is_text; children; parent; attrs }
+
+let size t = Array.length t.label
+let root _ = 0
+let label t v = t.label.(v)
+let is_text t v = t.is_text.(v)
+let children t v = Array.to_list t.children.(v)
+let parent t v = if t.parent.(v) < 0 then None else Some t.parent.(v)
+
+let rec node_to_xml t v : Xml.t =
+  if t.is_text.(v) then Text t.label.(v)
+  else
+    Element
+      {
+        tag = t.label.(v);
+        attrs = t.attrs.(v);
+        children = List.map (node_to_xml t) (children t v);
+      }
+
+let to_xml t = node_to_xml t 0
+
+let value_of t v =
+  if t.is_text.(v) then int_of_string_opt t.label.(v) else None
+
+let value_nodes t =
+  List.filter
+    (fun v -> value_of t v <> None)
+    (List.init (size t) Fun.id)
+
+let weights t =
+  List.fold_left
+    (fun w v ->
+      match value_of t v with
+      | Some x -> Weighted.set_elt w v x
+      | None -> w)
+    (Weighted.create 1) (value_nodes t)
+
+let with_weights t w =
+  let label = Array.copy t.label in
+  List.iter
+    (fun v -> label.(v) <- string_of_int (Weighted.get_elt w v))
+    (value_nodes t);
+  { t with label }
+
+let attrs t v = t.attrs.(v)
+
+let nodes_with_label t name =
+  List.filter (fun v -> t.label.(v) = name) (List.init (size t) Fun.id)
+
+let tags t =
+  let acc = ref [] in
+  Array.iteri (fun v l -> if not t.is_text.(v) then acc := l :: !acc) t.label;
+  List.sort_uniq compare !acc
+
+let pp fmt t =
+  let rec go depth v =
+    Format.fprintf fmt "%s%s%s@,"
+      (String.make (2 * depth) ' ')
+      (if t.is_text.(v) then "\"" ^ t.label.(v) ^ "\"" else t.label.(v))
+      (Printf.sprintf " (%d)" v);
+    List.iter (go (depth + 1)) (children t v)
+  in
+  Format.fprintf fmt "@[<v>";
+  go 0 0;
+  Format.fprintf fmt "@]"

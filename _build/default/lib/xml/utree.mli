@@ -1,0 +1,43 @@
+(** Unranked labeled trees — the tree model of XML documents.
+
+    Nodes are integers in preorder.  Element nodes carry their tag as
+    label; text nodes carry their content.  Attributes are not part of the
+    query/watermarking tree model, but they are carried along and re-emitted
+    by {!to_xml}, so marking a document preserves them byte for byte. *)
+
+type t
+
+val of_xml : Xml.t -> t
+val to_xml : t -> Xml.t
+
+val size : t -> int
+val root : t -> int
+
+val label : t -> int -> string
+val is_text : t -> int -> bool
+val children : t -> int -> int list
+val parent : t -> int -> int option
+
+val value_nodes : t -> int list
+(** Text nodes whose content parses as an integer — the weighted elements
+    of an XML document in the paper's sense (exam marks, durations, ...). *)
+
+val value_of : t -> int -> int option
+(** Integer content of a node, when it is a value node. *)
+
+val weights : t -> Weighted.t
+(** Weight assignment on value nodes (arity 1, keyed by node id). *)
+
+val with_weights : t -> Weighted.t -> t
+(** Rewrites each value node's content from the assignment — how a marker's
+    weight distortions are folded back into the document. *)
+
+val attrs : t -> int -> (string * string) list
+(** Attributes of an element node ([[]] for text nodes). *)
+
+val nodes_with_label : t -> string -> int list
+
+val tags : t -> string list
+(** Distinct element tags, sorted. *)
+
+val pp : Format.formatter -> t -> unit

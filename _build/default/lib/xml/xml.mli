@@ -1,0 +1,34 @@
+(** Minimal XML documents: parsing and printing.
+
+    Just enough XML for the paper's Section 4 workloads: elements, text,
+    attributes, comments and processing instructions (the last two are
+    skipped on parse).  No namespaces, DTDs or CDATA.  Whitespace-only text
+    between elements is dropped; other text is kept verbatim after entity
+    decoding. *)
+
+type t =
+  | Element of { tag : string; attrs : (string * string) list; children : t list }
+  | Text of string
+
+exception Parse_error of string
+(** Raised with a message naming the offset and problem. *)
+
+val parse : string -> t
+(** Parses one document (leading [<?xml ...?>] allowed).
+    @raise Parse_error on malformed input. *)
+
+val to_string : ?indent:bool -> t -> string
+(** Serializes; [indent] (default true) pretty-prints with 2-space
+    indentation, text-only elements staying on one line. *)
+
+val element : string -> t list -> t
+(** Element with no attributes. *)
+
+val text : string -> t
+val int_text : int -> t
+
+val tag_of : t -> string option
+val children_of : t -> t list
+
+val equal : t -> t -> bool
+(** Structural equality (attribute order significant). *)

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Eval Fo List Locality Mso Paper_examples Parser Printf QCheck QCheck_alcotest Query Schema Structure Tuple Weighted Wm_workload

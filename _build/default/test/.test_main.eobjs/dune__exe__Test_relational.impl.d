@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Gaifman Iso List Neighborhood Paper_examples Printf QCheck QCheck_alcotest Query Relation Schema String Structure Tuple Weighted Wm_workload

@@ -1,0 +1,1 @@
+test/test_trees.ml: Alcotest Alphabet Array Btree Dta Fun List Mso Mso_compile Nta Parser Printf Prng QCheck QCheck_alcotest Relation Structure Tree_query Trees_gen Tuple Wm_trees Wm_workload

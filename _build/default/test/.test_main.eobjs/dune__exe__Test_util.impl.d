@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitvec Codec Fun List Prng QCheck QCheck_alcotest Stats String Texttab Wm_util

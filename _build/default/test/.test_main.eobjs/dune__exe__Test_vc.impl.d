@@ -1,0 +1,1 @@
+test/test_vc.ml: Alcotest Fun List Paper_examples Printf QCheck QCheck_alcotest Query Query_vc Setfam Shatter Tuple Vc Weighted Wm_vc Wm_workload

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Biblio_xml Encode List Option Pattern Printf Prng QCheck QCheck_alcotest School_xml String Tuple Utree Weighted Wm_trees Wm_util Wm_watermark Wm_workload Wm_xml Xml

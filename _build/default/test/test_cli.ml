@@ -1,0 +1,110 @@
+(* End-to-end tests of the wmark binary, driven through the shell.  The
+   binary sits in the same _build tree as this test; skip gracefully when
+   it is missing (e.g. partial builds). *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let _ = (int, bool)
+
+let wmark_path =
+  List.find_opt Sys.file_exists
+    [ "../bin/wmark.exe"; "_build/default/bin/wmark.exe"; "bin/wmark.exe" ]
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("qpwm_cli_" ^ name)
+
+let run_cli args =
+  match wmark_path with
+  | None -> None
+  | Some bin ->
+      let cmd =
+        Printf.sprintf "%s %s > %s 2>&1" (Filename.quote bin) args
+          (Filename.quote (tmp "out"))
+      in
+      let code = Sys.command cmd in
+      let ic = open_in (tmp "out") in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Some (code, text)
+
+let skip_or f =
+  match wmark_path with
+  | None -> () (* binary not built in this configuration *)
+  | Some _ -> f ()
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_cli_relational_cycle () =
+  skip_or @@ fun () ->
+  let db = tmp "db.txt" and marked = tmp "marked.txt" in
+  (match run_cli (Printf.sprintf "gen-travel --travels 25 --transports 60 --seed 5 -o %s" db) with
+  | Some (0, _) -> ()
+  | Some (c, out) -> Alcotest.fail (Printf.sprintf "gen-travel exit %d: %s" c out)
+  | None -> ());
+  (match run_cli (Printf.sprintf "mark %s -q \"Route(u,v)\" -m 9 --bits 4 -o %s" db marked) with
+  | Some (0, _) -> ()
+  | Some (c, out) -> Alcotest.fail (Printf.sprintf "mark exit %d: %s" c out)
+  | None -> ());
+  match run_cli (Printf.sprintf "detect %s %s -q \"Route(u,v)\" --bits 4" db marked) with
+  | Some (0, out) -> check bool "decoded 9" true (contains out "decoded: 9")
+  | Some (c, out) -> Alcotest.fail (Printf.sprintf "detect exit %d: %s" c out)
+  | None -> ()
+
+let test_cli_info_and_vc () =
+  skip_or @@ fun () ->
+  let db = tmp "db2.txt" in
+  ignore (run_cli (Printf.sprintf "gen-travel --travels 12 --transports 10 --seed 6 -o %s" db));
+  (match run_cli (Printf.sprintf "info %s -q \"Route(u,v)\"" db) with
+  | Some (0, out) -> check bool "has capacity line" true (contains out "capacity")
+  | Some (c, out) -> Alcotest.fail (Printf.sprintf "info exit %d: %s" c out)
+  | None -> ());
+  match run_cli (Printf.sprintf "vc %s -q \"Route(u,v)\"" db) with
+  | Some (0, out) -> check bool "has VC line" true (contains out "VC dimension")
+  | Some (c, out) -> Alcotest.fail (Printf.sprintf "vc exit %d: %s" c out)
+  | None -> ()
+
+let test_cli_xml_cycle () =
+  skip_or @@ fun () ->
+  let doc = tmp "school.xml" and marked = tmp "schoolm.xml" in
+  ignore (run_cli (Printf.sprintf "gen-school --students 60 --seed 7 -o %s" doc));
+  (match
+     run_cli
+       (Printf.sprintf
+          "xml-mark %s -p 'school/student[firstname=$a]/exam' -m 3 --bits 2 -o %s"
+          doc marked)
+   with
+  | Some (0, _) -> ()
+  | Some (c, out) -> Alcotest.fail (Printf.sprintf "xml-mark exit %d: %s" c out)
+  | None -> ());
+  match
+    run_cli
+      (Printf.sprintf
+         "xml-detect %s %s -p 'school/student[firstname=$a]/exam' --bits 2" doc
+         marked)
+  with
+  | Some (0, out) -> check bool "decoded 3" true (contains out "decoded: 3")
+  | Some (c, out) -> Alcotest.fail (Printf.sprintf "xml-detect exit %d: %s" c out)
+  | None -> ()
+
+let test_cli_bad_input () =
+  skip_or @@ fun () ->
+  let bogus = tmp "bogus.txt" in
+  let oc = open_out bogus in
+  output_string oc "not a structure\n";
+  close_out oc;
+  match run_cli (Printf.sprintf "info %s -q \"Route(u,v)\"" bogus) with
+  | Some (code, out) ->
+      check bool "nonzero exit" true (code <> 0);
+      check bool "diagnostic" true (contains out "wmark:")
+  | None -> ()
+
+let suite =
+  [
+    ("cli relational cycle", `Slow, test_cli_relational_cycle);
+    ("cli info and vc", `Slow, test_cli_info_and_vc);
+    ("cli xml cycle", `Slow, test_cli_xml_cycle);
+    ("cli rejects bad input", `Slow, test_cli_bad_input);
+  ]

@@ -1,0 +1,19 @@
+(* Entry point: one alcotest section per library. *)
+
+let () =
+  Alcotest.run "qpwm"
+    [
+      ("util", Test_util.suite);
+      ("relational", Test_relational.suite);
+      ("logic", Test_logic.suite);
+      ("trees", Test_trees.suite);
+      ("xml", Test_xml.suite);
+      ("vc", Test_vc.suite);
+      ("watermark", Test_watermark.suite);
+      ("cliquewidth", Test_cliquewidth.suite);
+      ("extensions", Test_extensions.suite);
+      ("integration", Test_integration.suite);
+      ("edges", Test_edges.suite);
+      ("cli", Test_cli.suite);
+      ("coverage", Test_coverage.suite);
+    ]

@@ -1,0 +1,196 @@
+(* Unit and property tests for Wm_util: PRNG determinism, bit vectors,
+   message codec, statistics, table rendering. *)
+
+open Wm_util
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+let int64 = Alcotest.int64
+let float = Alcotest.float
+let list = Alcotest.list
+let array = Alcotest.array
+let option = Alcotest.option
+let _ = (int, bool, string, int64, float, (fun x -> list x), (fun x -> array x), (fun x -> option x))
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check int64 "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_split_independent () =
+  let g = Prng.create 7 in
+  let child = Prng.split g in
+  (* The child stream must differ from the parent's continuation. *)
+  let xs = List.init 8 (fun _ -> Prng.bits64 g) in
+  let ys = List.init 8 (fun _ -> Prng.bits64 child) in
+  check bool "streams differ" true (xs <> ys)
+
+let test_prng_int_range () =
+  let g = Prng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Prng.int g 17 in
+    check bool "in range" true (x >= 0 && x < 17)
+  done
+
+let test_prng_bernoulli_bias () =
+  let g = Prng.create 3 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.bernoulli g 0.25 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  check bool "close to 0.25" true (abs_float (p -. 0.25) < 0.02)
+
+let test_prng_shuffle_permutes () =
+  let g = Prng.create 5 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check (array int) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_prng_sample_distinct () =
+  let g = Prng.create 9 in
+  let s = Prng.sample g 10 (Array.init 30 Fun.id) in
+  check int "ten drawn" 10 (Array.length s);
+  let uniq = List.sort_uniq compare (Array.to_list s) in
+  check int "distinct" 10 (List.length uniq)
+
+let test_bitvec_get_set () =
+  let v = Bitvec.create 70 in
+  Bitvec.set v 0 true;
+  Bitvec.set v 63 true;
+  Bitvec.set v 69 true;
+  check bool "bit 0" true (Bitvec.get v 0);
+  check bool "bit 1" false (Bitvec.get v 1);
+  check bool "bit 63" true (Bitvec.get v 63);
+  check bool "bit 69" true (Bitvec.get v 69);
+  Bitvec.set v 63 false;
+  check bool "cleared" false (Bitvec.get v 63);
+  check int "popcount" 2 (Bitvec.popcount v)
+
+let test_bitvec_ops () =
+  let a = Bitvec.of_list 10 [ 1; 3; 5 ] in
+  let b = Bitvec.of_list 10 [ 3; 5; 7 ] in
+  check (list int) "union" [ 1; 3; 5; 7 ] (Bitvec.to_list (Bitvec.union a b));
+  check (list int) "inter" [ 3; 5 ] (Bitvec.to_list (Bitvec.inter a b));
+  check (list int) "diff" [ 1 ] (Bitvec.to_list (Bitvec.diff a b));
+  check bool "subset no" false (Bitvec.is_subset a b);
+  check bool "subset yes" true
+    (Bitvec.is_subset (Bitvec.inter a b) a)
+
+let test_bitvec_trailing_bits_ignored () =
+  (* Bits past [len] in the final byte must not affect ops or popcount. *)
+  let a = Bitvec.of_list 3 [ 0; 1; 2 ] in
+  let c = Bitvec.diff a (Bitvec.create 3) in
+  check int "popcount after diff" 3 (Bitvec.popcount c);
+  check bool "equal" true (Bitvec.equal a c)
+
+let test_codec_int_roundtrip () =
+  List.iter
+    (fun n ->
+      check int "roundtrip" n (Codec.to_int (Codec.of_int ~bits:16 n)))
+    [ 0; 1; 2; 255; 256; 65535 ]
+
+let test_codec_string_roundtrip () =
+  List.iter
+    (fun s -> check string "roundtrip" s (Codec.to_string (Codec.of_string s)))
+    [ ""; "a"; "server-17"; "\x00\xff" ]
+
+let test_codec_majority () =
+  let m = Codec.of_bool_list [ true; false; true ] in
+  let r = Codec.repeat ~times:3 m in
+  (* Corrupt one copy of each bit; majority must still decode. *)
+  Bitvec.set r 0 false;
+  Bitvec.set r 4 true;
+  Bitvec.set r 8 false;
+  let d = Codec.majority_decode ~times:3 r in
+  check (list bool) "decoded" [ true; false; true ] (Codec.to_bool_list d)
+
+let test_codec_hamming () =
+  let a = Codec.of_bool_list [ true; true; false; false ] in
+  let b = Codec.of_bool_list [ true; false; true; false ] in
+  check int "hamming" 2 (Codec.hamming a b)
+
+let test_stats_basic () =
+  let a = [| 1.; 2.; 3.; 4. |] in
+  check (float 1e-9) "mean" 2.5 (Stats.mean a);
+  check (float 1e-9) "variance" 1.25 (Stats.variance a);
+  let lo, hi = Stats.min_max a in
+  check (float 1e-9) "min" 1. lo;
+  check (float 1e-9) "max" 4. hi;
+  check (float 1e-9) "median-ish" 2. (Stats.quantile 0.5 a)
+
+let test_stats_rate () =
+  check (float 1e-9) "rate" 0.5 (Stats.rate 1 2);
+  check (float 1e-9) "rate zero den" 0. (Stats.rate 1 0)
+
+let test_texttab_render () =
+  let t = Texttab.create [ "name"; "n" ] in
+  Texttab.add_row t [ "alpha"; "1" ];
+  Texttab.addf t "beta|23";
+  let s = Texttab.render t in
+  check bool "has header" true
+    (String.length s > 0 && String.sub s 0 4 = "name");
+  check bool "aligned right" true
+    (let lines = String.split_on_char '\n' s in
+     List.exists (fun l -> l = "beta   23") lines)
+
+(* Property tests *)
+
+let prop_codec_int =
+  QCheck.Test.make ~count:200 ~name:"codec int roundtrip"
+    QCheck.(int_bound ((1 lsl 20) - 1))
+    (fun n -> Codec.to_int (Codec.of_int ~bits:20 n) = n)
+
+let prop_bitvec_of_to_list =
+  QCheck.Test.make ~count:200 ~name:"bitvec of_list/to_list"
+    QCheck.(list (int_bound 63))
+    (fun ixs ->
+      let ixs = List.sort_uniq compare ixs in
+      Bitvec.to_list (Bitvec.of_list 64 ixs) = ixs)
+
+let prop_union_popcount =
+  QCheck.Test.make ~count:200 ~name:"inclusion-exclusion on popcount"
+    QCheck.(pair (list (int_bound 63)) (list (int_bound 63)))
+    (fun (xs, ys) ->
+      let a = Bitvec.of_list 64 xs and b = Bitvec.of_list 64 ys in
+      Bitvec.popcount (Bitvec.union a b) + Bitvec.popcount (Bitvec.inter a b)
+      = Bitvec.popcount a + Bitvec.popcount b)
+
+let prop_repeat_decode =
+  QCheck.Test.make ~count:200 ~name:"repeat then majority_decode is identity"
+    QCheck.(pair (list bool) (int_range 1 7))
+    (fun (bits, times) ->
+      QCheck.assume (bits <> []);
+      let m = Codec.of_bool_list bits in
+      Codec.to_bool_list (Codec.majority_decode ~times (Codec.repeat ~times m))
+      = bits)
+
+let suite =
+  [
+    ("prng deterministic", `Quick, test_prng_deterministic);
+    ("prng split independent", `Quick, test_prng_split_independent);
+    ("prng int range", `Quick, test_prng_int_range);
+    ("prng bernoulli bias", `Quick, test_prng_bernoulli_bias);
+    ("prng shuffle permutes", `Quick, test_prng_shuffle_permutes);
+    ("prng sample distinct", `Quick, test_prng_sample_distinct);
+    ("bitvec get/set", `Quick, test_bitvec_get_set);
+    ("bitvec boolean ops", `Quick, test_bitvec_ops);
+    ("bitvec trailing bits", `Quick, test_bitvec_trailing_bits_ignored);
+    ("codec int roundtrip", `Quick, test_codec_int_roundtrip);
+    ("codec string roundtrip", `Quick, test_codec_string_roundtrip);
+    ("codec majority decode", `Quick, test_codec_majority);
+    ("codec hamming", `Quick, test_codec_hamming);
+    ("stats basics", `Quick, test_stats_basic);
+    ("stats rate", `Quick, test_stats_rate);
+    ("texttab render", `Quick, test_texttab_render);
+    QCheck_alcotest.to_alcotest prop_codec_int;
+    QCheck_alcotest.to_alcotest prop_bitvec_of_to_list;
+    QCheck_alcotest.to_alcotest prop_union_popcount;
+    QCheck_alcotest.to_alcotest prop_repeat_decode;
+  ]

@@ -1,0 +1,193 @@
+(* Tests for Wm_vc: set families, exact VC-dimension, Sauer-Shelah, and
+   the query-defined families of the shattering workloads (the combinatorial
+   heart of Theorem 2 and Remark 1). *)
+
+open Wm_vc
+open Wm_workload
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let list = Alcotest.list
+let _ = (int, bool, fun x -> list x)
+
+let powerset_family n =
+  Setfam.of_int_sets ~universe:n
+    (List.init (1 lsl n) (fun mask ->
+         List.filter (fun i -> (mask lsr i) land 1 = 1) (List.init n Fun.id)))
+
+let singleton_family n =
+  Setfam.of_int_sets ~universe:n (List.init n (fun i -> [ i ]))
+
+let test_setfam_dedup () =
+  let f = Setfam.of_int_sets ~universe:4 [ [ 0; 1 ]; [ 1; 0 ]; [ 2 ] ] in
+  check int "dedup" 2 (Setfam.cardinal f);
+  check bool "mem" true (Setfam.mem_set f [ 0; 1 ]);
+  check bool "not mem" false (Setfam.mem_set f [ 0 ])
+
+let test_setfam_traces () =
+  let f = Setfam.of_int_sets ~universe:4 [ []; [ 0 ]; [ 1 ]; [ 0; 1 ] ] in
+  check int "traces on {0,1}" 4 (Setfam.trace_count f [ 0; 1 ]);
+  check bool "shatters {0,1}" true (Setfam.shatters f [ 0; 1 ]);
+  check bool "not {0,1,2}" false (Setfam.shatters f [ 0; 1; 2 ]);
+  check bool "empty set shattered" true (Setfam.shatters f [])
+
+let test_setfam_restriction () =
+  let f = Setfam.of_int_sets ~universe:4 [ [ 0; 2 ]; [ 1; 2 ]; [ 3 ] ] in
+  let r = Setfam.restriction f [ 0; 1 ] in
+  check int "restricted universe" 2 (Setfam.universe_size r);
+  (* Traces: {0}, {1}, {} *)
+  check int "restricted cardinal" 3 (Setfam.cardinal r)
+
+let test_vc_powerset () =
+  check int "VC(2^[3]) = 3" 3 (Vc.dimension (powerset_family 3));
+  check int "VC(2^[4]) = 4" 4 (Vc.dimension (powerset_family 4))
+
+let test_vc_singletons () =
+  check int "VC(singletons) = 1" 1 (Vc.dimension (singleton_family 6))
+
+let test_vc_empty_family () =
+  let f = Setfam.of_int_sets ~universe:3 [ [] ] in
+  check int "VC({{}}) = 0" 0 (Vc.dimension f)
+
+let test_vc_intervals () =
+  (* Intervals [i, j) over 0..5: VC-dimension 2 (three points cannot be
+     shattered: the middle one cannot be excluded alone). *)
+  let sets = ref [] in
+  for i = 0 to 5 do
+    for j = i to 5 do
+      sets := List.init (j - i) (fun k -> i + k) :: !sets
+    done
+  done;
+  let f = Setfam.of_int_sets ~universe:5 !sets in
+  check int "VC(intervals) = 2" 2 (Vc.dimension f)
+
+let test_vc_max_cap () =
+  check int "capped" 2 (Vc.dimension ~max:2 (powerset_family 4))
+
+let test_shattered_sets () =
+  let f = singleton_family 3 in
+  check int "three 1-sets shattered" 3 (List.length (Vc.shattered_sets f 1));
+  check (list (list int)) "no 2-sets" [] (Vc.shattered_sets f 2)
+
+let test_sauer_shelah_values () =
+  check int "d=0" 1 (Vc.sauer_shelah ~d:0 ~n:10);
+  check int "d=1 n=10" 11 (Vc.sauer_shelah ~d:1 ~n:10);
+  check int "d=2 n=10" 56 (Vc.sauer_shelah ~d:2 ~n:10);
+  check int "d=n" 1024 (Vc.sauer_shelah ~d:10 ~n:10)
+
+let test_growth () =
+  let f = singleton_family 4 in
+  check int "pi(2) = 3" 3 (Vc.growth f 2)
+(* traces over 2 points: {}, {x}, {y} *)
+
+let test_shatter_full_family () =
+  (* Theorem 2's witness: the full family shatters its whole active set. *)
+  List.iter
+    (fun n ->
+      let ws = Shatter.full n in
+      let ix = Query_vc.of_query ws.Weighted.graph Shatter.query in
+      check int
+        (Printf.sprintf "universe = n (n=%d)" n)
+        n
+        (Setfam.universe_size ix.Query_vc.fam);
+      check bool "maximal" true (Query_vc.maximal_on ws.Weighted.graph Shatter.query);
+      check int "VC = |W|" n (Vc.dimension ix.Query_vc.fam))
+    [ 2; 3; 4 ]
+
+let test_shatter_half_family () =
+  (* Remark 1: VC = n/2 = |W|/2, not maximal. *)
+  List.iter
+    (fun n ->
+      let ws = Shatter.half n in
+      let ix = Query_vc.of_query ws.Weighted.graph Shatter.query in
+      check int "universe = n" n (Setfam.universe_size ix.Query_vc.fam);
+      check bool "not maximal" false
+        (Query_vc.maximal_on ws.Weighted.graph Shatter.query);
+      check int "VC = n/2" (n / 2) (Vc.dimension ix.Query_vc.fam))
+    [ 4; 6 ]
+
+let test_half_free_only_in_hub () =
+  let n = 6 in
+  let ws = Shatter.half n in
+  let hub = Tuple.singleton (Shatter.half_hub n) in
+  let free = Shatter.half_free n in
+  let g = ws.Weighted.graph in
+  List.iter
+    (fun w ->
+      let holders =
+        List.filter
+          (fun a ->
+            Tuple.Set.mem (Tuple.singleton w) (Query.result_set g Shatter.query a))
+          (Query.all_params g Shatter.query)
+      in
+      check (list bool) "only hub" [ true ]
+        (List.map (fun a -> Tuple.equal a hub) holders))
+    free
+
+let test_figure1_vc () =
+  let fig = Paper_examples.figure1 in
+  let d = Query_vc.dimension_of_query fig.Weighted.graph Paper_examples.figure1_query in
+  (* W_a = W_b = {d,e}, W_c = {d}, W_d = {a,b,c}, W_e = {a,b,f}, W_f = {e}:
+     {d, e} is shattered ({} from W_f via trace {e}... check: traces on
+     {d,e}: W_a gives {d,e}, W_c gives {d}, W_f gives {e}, W_d gives {} —
+     all four, so VC >= 2; no 3-set is shattered (family too small). *)
+  check int "VC(figure1) = 2" 2 d
+
+(* Properties *)
+
+let family_gen =
+  QCheck.Gen.(
+    pair (int_range 1 6) (list_size (int_bound 12) (list_size (int_bound 5) (int_bound 5))))
+
+let arbitrary_family =
+  QCheck.make family_gen ~print:(fun (n, sets) ->
+      Printf.sprintf "universe=%d, %d sets" n (List.length sets))
+
+let build (n, sets) =
+  Setfam.of_int_sets ~universe:n
+    (List.map (List.filter (fun x -> x < n)) sets)
+
+let prop_sauer_shelah =
+  QCheck.Test.make ~count:100 ~name:"families respect Sauer-Shelah"
+    arbitrary_family
+    (fun spec -> Vc.respects_sauer_shelah (build spec))
+
+let prop_vc_monotone_in_family =
+  QCheck.Test.make ~count:60 ~name:"adding sets cannot lower VC"
+    arbitrary_family
+    (fun (n, sets) ->
+      match sets with
+      | [] -> true
+      | _ :: rest ->
+          Vc.dimension (build (n, rest)) <= Vc.dimension (build (n, sets)))
+
+let prop_restriction_vc =
+  QCheck.Test.make ~count:60 ~name:"restriction cannot raise VC"
+    arbitrary_family
+    (fun (n, sets) ->
+      let f = build (n, sets) in
+      let sub = List.init (max 1 (n / 2)) Fun.id in
+      Vc.dimension (Setfam.restriction f sub) <= Vc.dimension f)
+
+let suite =
+  [
+    ("setfam dedup", `Quick, test_setfam_dedup);
+    ("setfam traces and shattering", `Quick, test_setfam_traces);
+    ("setfam restriction", `Quick, test_setfam_restriction);
+    ("vc of powerset", `Quick, test_vc_powerset);
+    ("vc of singletons", `Quick, test_vc_singletons);
+    ("vc of trivial family", `Quick, test_vc_empty_family);
+    ("vc of intervals", `Quick, test_vc_intervals);
+    ("vc with cap", `Quick, test_vc_max_cap);
+    ("shattered sets enumeration", `Quick, test_shattered_sets);
+    ("sauer-shelah values", `Quick, test_sauer_shelah_values);
+    ("growth function", `Quick, test_growth);
+    ("theorem 2 family is maximal", `Quick, test_shatter_full_family);
+    ("remark 1 family is half-shattered", `Quick, test_shatter_half_family);
+    ("remark 1 free elements", `Quick, test_half_free_only_in_hub);
+    ("figure 1 VC-dimension", `Quick, test_figure1_vc);
+    QCheck_alcotest.to_alcotest prop_sauer_shelah;
+    QCheck_alcotest.to_alcotest prop_vc_monotone_in_family;
+    QCheck_alcotest.to_alcotest prop_restriction_vc;
+  ]
