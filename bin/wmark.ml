@@ -9,7 +9,10 @@
      wmark info db.txt -q "Route(u,v)"
      wmark mark db.txt -q "Route(u,v)" --message 11 --bits 5 -o marked.txt
      wmark detect db.txt marked.txt -q "Route(u,v)" --bits 5
-     wmark attack marked.txt -q "Route(u,v)" --kind flips --count 5 -o att.txt
+     wmark perturb marked.txt -q "Route(u,v)" --kind flips --count 5 -o att.txt
+     wmark perturb marked.txt -q "Route(u,v)" --kind delete --fraction 0.2 -o att.txt
+     wmark attack db.txt -q "Route(u,v)" --bits 4 --redundancy 5 --csv grid.csv
+     wmark attack                      # generated workload, default grid
      wmark capacity small.txt -q "E(u,v)" --cond le --d 1
      wmark gen-school --students 40 -o school.xml
      wmark xml-mark school.xml -p "school/student[firstname=$a]/exam" \
@@ -93,6 +96,12 @@ let handle f =
       1
   | Wm_xml.Xml.Parse_error m ->
       Printf.eprintf "wmark: bad XML: %s\n" m;
+      1
+  | Not_found ->
+      Printf.eprintf "wmark: internal lookup failed (malformed input?)\n";
+      1
+  | e ->
+      Printf.eprintf "wmark: %s\n" (Printexc.to_string e);
       1
 
 (* ------------------------------------------------------------------ *)
@@ -197,43 +206,120 @@ let capacity_cmd =
        ~doc:"Count exact watermarking capacity (#P-hard; small inputs).")
     Term.(const run $ file $ query_term $ params_term $ results_term $ cond $ d)
 
-(* attack *)
+(* perturb — apply one attack, weight-level or structural, to a copy *)
 
-let attack_cmd =
-  let run file query params results kind amplitude count seed out =
+let perturb_cmd =
+  let run file query params results kind amplitude count fraction seed out =
     handle @@ fun () ->
     let ws = Textio.load file in
-    let q = parse_query ~query ~params ~results in
-    let qs = Query_system.of_relational ws.Weighted.graph q in
-    let attack =
-      match kind with
-      | "noise" -> Adversary.Uniform_noise { amplitude }
-      | "flips" -> Adversary.Random_flips { count; amplitude }
-      | "rounding" -> Adversary.Rounding { multiple = max 1 amplitude }
-      | "offset" -> Adversary.Constant_offset { delta = amplitude }
-      | k -> failwith ("unknown attack " ^ k)
+    let g = Prng.create seed in
+    let weights a =
+      let q = parse_query ~query ~params ~results in
+      let qs = Query_system.of_relational ws.Weighted.graph q in
+      let attacked =
+        Adversary.apply g a ~active:(Query_system.active qs)
+          ws.Weighted.weights
+      in
+      Textio.save out { ws with Weighted.weights = attacked };
+      Printf.printf "%s: spent global budget %d, wrote %s\n"
+        (Adversary.describe a)
+        (Distortion.global qs ws.Weighted.weights attacked)
+        out
     in
-    let attacked =
-      Adversary.apply (Prng.create seed) attack
-        ~active:(Query_system.active qs) ws.Weighted.weights
+    let structural a =
+      let attacked = Adversary.apply_structural g a ws in
+      Textio.save out attacked;
+      Printf.printf "%s: %d -> %d elements, wrote %s\n"
+        (Adversary.describe_structural a)
+        (Structure.size ws.Weighted.graph)
+        (Structure.size attacked.Weighted.graph)
+        out
     in
-    Textio.save out { ws with Weighted.weights = attacked };
-    Printf.printf "%s: spent global budget %d, wrote %s\n"
-      (Adversary.describe attack)
-      (Distortion.global qs ws.Weighted.weights attacked)
-      out
+    match kind with
+    | "noise" -> weights (Adversary.Uniform_noise { amplitude })
+    | "flips" -> weights (Adversary.Random_flips { count; amplitude })
+    | "rounding" -> weights (Adversary.Rounding { multiple = max 1 amplitude })
+    | "offset" -> weights (Adversary.Constant_offset { delta = amplitude })
+    | "delete" -> structural (Adversary.Delete_tuples { fraction })
+    | "sample" -> structural (Adversary.Subset_sample { keep = fraction })
+    | "insert" -> structural (Adversary.Insert_noise_tuples { count; amplitude })
+    | "shuffle" -> structural Adversary.Shuffle_universe
+    | k -> failwith ("unknown attack " ^ k)
   in
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let kind =
-    Arg.(value & opt string "flips" & info [ "kind" ] ~docv:"noise|flips|rounding|offset")
+    Arg.(
+      value & opt string "flips"
+      & info [ "kind" ]
+          ~docv:"noise|flips|rounding|offset|delete|sample|insert|shuffle")
   in
   let amplitude = Arg.(value & opt int 1 & info [ "amplitude" ] ~docv:"A") in
   let count = Arg.(value & opt int 5 & info [ "count" ] ~docv:"N") in
+  let fraction =
+    Arg.(value & opt float 0.2 & info [ "fraction" ] ~docv:"F")
+  in
   Cmd.v
-    (Cmd.info "attack" ~doc:"Apply an adversarial distortion to a copy.")
+    (Cmd.info "perturb"
+       ~doc:
+         "Apply one adversarial distortion — weight-level or structural — \
+          to a copy.")
     Term.(
       const run $ file $ query_term $ params_term $ results_term $ kind
-      $ amplitude $ count $ seed_term $ out_term)
+      $ amplitude $ count $ fraction $ seed_term $ out_term)
+
+(* attack — the full survivability grid *)
+
+let attack_cmd =
+  let run file query params results rho epsilon seed bits redundancies csv =
+    handle @@ fun () ->
+    let ws, workload =
+      match file with
+      | Some f -> (Textio.load f, f)
+      | None ->
+          ( Random_struct.travel (Prng.create seed) ~travels:100 ~transports:400,
+            "generated travel database (100 travels, 400 transports)" )
+    in
+    let q = parse_query ~query ~params ~results in
+    let options = { Local_scheme.seed; rho; epsilon; selection = `Greedy } in
+    let redundancies = if redundancies = [] then [ 1; 3; 5 ] else redundancies in
+    match
+      Attack_suite.run ~options ~seed ~redundancies ~message_bits:bits
+        ~workload ws q
+    with
+    | Error e -> failwith e
+    | Ok report -> (
+        print_string (Attack_suite.render report);
+        match csv with
+        | None -> ()
+        | Some out ->
+            let oc = open_out out in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc (Attack_suite.to_csv report));
+            Printf.printf "wrote %s\n" out)
+  in
+  let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let query_dflt =
+    let doc = "Query to preserve (default the travel workload's Route)." in
+    Arg.(value & opt string "Route(u,v)" & info [ "q"; "query" ] ~docv:"FORMULA" ~doc)
+  in
+  let bits = Arg.(value & opt int 4 & info [ "bits" ] ~docv:"N") in
+  let redundancies =
+    let doc = "Redundancy factor; repeatable (default 1, 3 and 5)." in
+    Arg.(value & opt_all int [] & info [ "redundancy" ] ~docv:"R" ~doc)
+  in
+  let csv =
+    let doc = "Also write the grid as CSV to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:
+         "Run the deterministic attack-survivability grid: mark, attack \
+          (weight-level and structural), realign, detect.")
+    Term.(
+      const run $ file $ query_dflt $ params_term $ results_term $ rho_term
+      $ epsilon_term $ seed_term $ bits $ redundancies $ csv)
 
 (* multi-query mark/detect: -q can be repeated; all queries share the
    default u/v variable convention. *)
@@ -442,8 +528,8 @@ let main =
     (Cmd.info "wmark" ~version:"1.0.0" ~doc)
     [
       info_cmd; mark_cmd; detect_cmd; multi_mark_cmd; multi_detect_cmd;
-      capacity_cmd; vc_cmd; attack_cmd; gen_travel_cmd; gen_school_cmd;
-      gen_biblio_cmd; xml_mark_cmd; xml_detect_cmd;
+      capacity_cmd; vc_cmd; perturb_cmd; attack_cmd; gen_travel_cmd;
+      gen_school_cmd; gen_biblio_cmd; xml_mark_cmd; xml_detect_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

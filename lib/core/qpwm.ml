@@ -72,6 +72,8 @@ module Multi_scheme = Wm_watermark.Multi_scheme
 module Detector = Wm_watermark.Detector
 module Adversary = Wm_watermark.Adversary
 module Robust = Wm_watermark.Robust
+module Survivable = Wm_watermark.Survivable
+module Attack_suite = Wm_watermark.Attack_suite
 module Capacity = Wm_watermark.Capacity
 module Incremental = Wm_watermark.Incremental
 module Agrawal_kiernan = Wm_watermark.Agrawal_kiernan

@@ -39,6 +39,18 @@ let elt_of_name g name =
       in
       go 0
 
+let has_names g = g.names <> None
+
+let with_default_names g =
+  match g.names with
+  | Some _ -> g
+  | None -> { g with names = Some (Array.init g.size string_of_int) }
+
+let with_names g names =
+  if Array.length names <> g.size then
+    invalid_arg "Structure.with_names: names length mismatch";
+  { g with names = Some names }
+
 let relation g name =
   match Smap.find_opt name g.rels with
   | Some r -> r

@@ -24,6 +24,19 @@ val name_of : t -> int -> string
 val elt_of_name : t -> string -> int
 (** Inverse lookup. @raise Not_found if no element has that name. *)
 
+val has_names : t -> bool
+(** Does the structure carry an explicit names array? *)
+
+val with_default_names : t -> t
+(** Materialize the implicit decimal names into an explicit names array (a
+    no-op when names are already present).  Structural attacks call this
+    before renumbering so element identity survives as a name — the moral
+    equivalent of a row keeping its key column when other rows are
+    deleted. *)
+
+val with_names : t -> string array -> t
+(** Replace the names array; must have length [size]. *)
+
 val relation : t -> string -> Relation.t
 (** Interpretation of a symbol. @raise Not_found on unknown symbols. *)
 

@@ -1,6 +1,60 @@
 exception Format_error of string
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
+type error = { line : int; message : string }
+
+let error_to_string e =
+  if e.line > 0 then Printf.sprintf "line %d: %s" e.line e.message
+  else e.message
+
+(* Names may contain characters the line format cannot carry raw: '#'
+   starts a comment, leading/trailing/doubled spaces are eaten by trim and
+   word splitting, and '%' is our escape lead.  Escape exactly those on
+   write and decode exactly the escapes we emit on read, so old files
+   (which never contain escapes) parse unchanged. *)
+let escape_name s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  String.iteri
+    (fun i ch ->
+      let boundary = i = 0 || i = n - 1 in
+      let doubled = i > 0 && s.[i - 1] = ' ' && ch = ' ' in
+      match ch with
+      | '%' -> Buffer.add_string buf "%25"
+      | '#' -> Buffer.add_string buf "%23"
+      | '\t' -> Buffer.add_string buf "%09"
+      | '\n' -> Buffer.add_string buf "%0A"
+      | '\r' -> Buffer.add_string buf "%0D"
+      | ' ' when boundary || doubled -> Buffer.add_string buf "%20"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape_name s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    let unescaped =
+      if s.[!i] = '%' && !i + 2 < n then
+        match String.sub s (!i + 1) 2 with
+        | "25" -> Some '%'
+        | "23" -> Some '#'
+        | "09" -> Some '\t'
+        | "0A" -> Some '\n'
+        | "0D" -> Some '\r'
+        | "20" -> Some ' '
+        | _ -> None
+      else None
+    in
+    match unescaped with
+    | Some c ->
+        Buffer.add_char buf c;
+        i := !i + 3
+    | None ->
+        Buffer.add_char buf s.[!i];
+        incr i
+  done;
+  Buffer.contents buf
 
 let to_string (ws : Weighted.structure) =
   let g = ws.Weighted.graph in
@@ -17,7 +71,7 @@ let to_string (ws : Weighted.structure) =
   List.iter
     (fun x ->
       let n = Structure.name_of g x in
-      if n <> string_of_int x then add "name %d %s\n" x n)
+      if n <> string_of_int x then add "name %d %s\n" x (escape_name n))
     (Structure.universe g);
   Structure.fold_relations
     (fun name r () ->
@@ -35,84 +89,117 @@ let to_string (ws : Weighted.structure) =
     (Weighted.bindings ws.Weighted.weights);
   Buffer.contents buf
 
+(* The total parser.  Every failure path — including library-level
+   [Invalid_argument]s from schema/structure construction — comes back as
+   [Error] with the best line information available. *)
+let of_string_result text =
+  let exception Fail of error in
+  let fail ?(line = 0) fmt =
+    Printf.ksprintf (fun message -> raise (Fail { line; message })) fmt
+  in
+  try
+    let lines = String.split_on_char '\n' text in
+    let schema = ref None in
+    let weight_arity = ref 1 in
+    let size = ref None in
+    let names = ref [] in
+    let rels = ref [] in
+    let weights = ref [] in
+    List.iteri
+      (fun lineno line ->
+        let lineno = lineno + 1 in
+        let int_of s =
+          match int_of_string_opt s with
+          | Some n -> n
+          | None -> fail ~line:lineno "not an integer: %S" s
+        in
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let line = String.trim line in
+        if line <> "" then begin
+          let words = String.split_on_char ' ' line |> List.filter (( <> ) "") in
+          match words with
+          | "schema" :: syms ->
+              let parse_sym s =
+                match String.split_on_char '/' s with
+                | [ name; ar ] -> { Schema.name; arity = int_of ar }
+                | _ -> fail ~line:lineno "bad symbol %S" s
+              in
+              schema := Some (lineno, List.map parse_sym syms)
+          | [ "weight_arity"; a ] -> weight_arity := int_of a
+          | [ "size"; n ] -> size := Some (lineno, int_of n)
+          | "name" :: x :: rest ->
+              names :=
+                (lineno, int_of x, unescape_name (String.concat " " rest))
+                :: !names
+          | "rel" :: name :: elts ->
+              rels := (lineno, name, List.map int_of elts) :: !rels
+          | "weight" :: parts -> begin
+              match List.rev parts with
+              | v :: rev_t ->
+                  weights :=
+                    (lineno, List.rev_map int_of rev_t, int_of v) :: !weights
+              | [] -> fail ~line:lineno "empty weight"
+            end
+          | _ -> fail ~line:lineno "unknown directive %S" line
+        end)
+      lines;
+    let schema_line, symbols =
+      match !schema with Some s -> s | None -> fail "missing schema"
+    in
+    let size_line, size =
+      match !size with Some n -> n | None -> fail "missing size"
+    in
+    if size < 0 then fail ~line:size_line "negative size %d" size;
+    let schema =
+      match Schema.make ~weight_arity:!weight_arity symbols with
+      | s -> s
+      | exception Invalid_argument m -> fail ~line:schema_line "bad schema: %s" m
+    in
+    let name_arr =
+      if !names = [] then None
+      else begin
+        let a = Array.init size string_of_int in
+        List.iter
+          (fun (line, x, n) ->
+            if x < 0 || x >= size then
+              fail ~line "name index %d out of range" x;
+            a.(x) <- n)
+          !names;
+        Some a
+      end
+    in
+    let g = ref (Structure.create ?names:name_arr schema size) in
+    List.iter
+      (fun (line, name, elts) ->
+        match Structure.add_tuple !g name (Tuple.of_list elts) with
+        | g' -> g := g'
+        | exception Not_found -> fail ~line "unknown relation %S" name
+        | exception Invalid_argument m -> fail ~line "bad tuple for %s: %s" name m)
+      (List.rev !rels);
+    let w =
+      List.fold_left
+        (fun w (line, t, v) ->
+          match Weighted.set w (Tuple.of_list t) v with
+          | w' -> w'
+          | exception Invalid_argument m -> fail ~line "bad weight: %s" m)
+        (Weighted.create !weight_arity)
+        (List.rev !weights)
+    in
+    match Weighted.make !g w with
+    | ws -> Ok ws
+    | exception Invalid_argument m -> fail "inconsistent weights: %s" m
+  with
+  | Fail e -> Error e
+  | Invalid_argument m | Failure m -> Error { line = 0; message = m }
+
 let of_string text =
-  let lines = String.split_on_char '\n' text in
-  let schema = ref None in
-  let weight_arity = ref 1 in
-  let size = ref None in
-  let names = ref [] in
-  let rels = ref [] in
-  let weights = ref [] in
-  let int_of s =
-    match int_of_string_opt s with
-    | Some n -> n
-    | None -> fail "not an integer: %S" s
-  in
-  List.iteri
-    (fun lineno line ->
-      let line =
-        match String.index_opt line '#' with
-        | Some i -> String.sub line 0 i
-        | None -> line
-      in
-      let line = String.trim line in
-      if line <> "" then begin
-        let words = String.split_on_char ' ' line |> List.filter (( <> ) "") in
-        match words with
-        | "schema" :: syms ->
-            let parse_sym s =
-              match String.split_on_char '/' s with
-              | [ name; ar ] -> { Schema.name; arity = int_of ar }
-              | _ -> fail "line %d: bad symbol %S" (lineno + 1) s
-            in
-            schema := Some (List.map parse_sym syms)
-        | [ "weight_arity"; a ] -> weight_arity := int_of a
-        | [ "size"; n ] -> size := Some (int_of n)
-        | "name" :: x :: rest ->
-            names := (int_of x, String.concat " " rest) :: !names
-        | "rel" :: name :: elts ->
-            rels := (name, List.map int_of elts) :: !rels
-        | "weight" :: parts -> begin
-            match List.rev parts with
-            | v :: rev_t ->
-                weights := (List.rev_map int_of rev_t, int_of v) :: !weights
-            | [] -> fail "line %d: empty weight" (lineno + 1)
-          end
-        | _ -> fail "line %d: unknown directive %S" (lineno + 1) line
-      end)
-    lines;
-  let symbols = match !schema with Some s -> s | None -> fail "missing schema" in
-  let size = match !size with Some n -> n | None -> fail "missing size" in
-  let schema = Schema.make ~weight_arity:!weight_arity symbols in
-  let name_arr =
-    if !names = [] then None
-    else begin
-      let a = Array.init size string_of_int in
-      List.iter
-        (fun (x, n) ->
-          if x < 0 || x >= size then fail "name index %d out of range" x;
-          a.(x) <- n)
-        !names;
-      Some a
-    end
-  in
-  let g = ref (Structure.create ?names:name_arr schema size) in
-  List.iter
-    (fun (name, elts) ->
-      match Structure.add_tuple !g name (Tuple.of_list elts) with
-      | g' -> g := g'
-      | exception Not_found -> fail "unknown relation %S" name
-      | exception Invalid_argument m -> fail "bad tuple for %s: %s" name m)
-    (List.rev !rels);
-  let w =
-    List.fold_left
-      (fun w (t, v) -> Weighted.set w (Tuple.of_list t) v)
-      (Weighted.create !weight_arity)
-      (List.rev !weights)
-  in
-  match Weighted.make !g w with
-  | ws -> ws
-  | exception Invalid_argument m -> fail "inconsistent weights: %s" m
+  match of_string_result text with
+  | Ok ws -> ws
+  | Error e -> raise (Format_error (error_to_string e))
 
 let save path ws =
   let oc = open_out path in
@@ -120,8 +207,15 @@ let save path ws =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string ws))
 
-let load path =
+let read_file path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path = of_string (read_file path)
+
+let load_result path =
+  match read_file path with
+  | text -> of_string_result text
+  | exception Sys_error m -> Error { line = 0; message = m }

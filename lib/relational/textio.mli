@@ -15,14 +15,36 @@
     v}
 
     Unknown directives are an error; names may contain spaces (the rest of
-    the line). *)
+    the line).  Characters the line format cannot carry raw — ['#'],
+    ['%'], tabs, newlines, and leading/trailing/doubled spaces — are
+    escaped as ['%XX'] on write and decoded on read, so every name
+    round-trips; files written by older versions (which never contain
+    escapes) parse unchanged. *)
 
 exception Format_error of string
 
+type error = { line : int; message : string }
+(** [line] is 1-based; 0 when no single line is to blame (e.g. a missing
+    [schema] directive or an IO error). *)
+
+val error_to_string : error -> string
+
 val to_string : Weighted.structure -> string
+
+val of_string_result : string -> (Weighted.structure, error) result
+(** Total: every malformed input — unknown directives, non-integers,
+    out-of-range indices, arity mismatches, inconsistent weights — comes
+    back as [Error] with line information.  Never raises. *)
+
 val of_string : string -> Weighted.structure
+(** @raise Format_error on malformed content (delegates to
+    {!of_string_result}). *)
 
 val save : string -> Weighted.structure -> unit
+
 val load : string -> Weighted.structure
-(** File variants. @raise Sys_error on IO problems, @raise Format_error on
-    malformed content. *)
+(** @raise Sys_error on IO problems, @raise Format_error on malformed
+    content. *)
+
+val load_result : string -> (Weighted.structure, error) result
+(** Total file variant: IO problems come back as [Error] with line 0. *)

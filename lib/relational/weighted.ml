@@ -5,6 +5,7 @@ let create ?(default = 0) arity =
   { arity; default; entries = Tuple.Map.empty }
 
 let arity w = w.arity
+let default w = w.default
 
 let get w t =
   match Tuple.Map.find_opt t w.entries with

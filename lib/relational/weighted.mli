@@ -20,6 +20,9 @@ val create : ?default:int -> int -> t
 
 val arity : t -> int
 
+val default : t -> int
+(** The weight of tuples without an explicit entry. *)
+
 val get : t -> Tuple.t -> int
 val set : t -> Tuple.t -> int -> t
 (** Functional update; validates arity. *)

@@ -48,3 +48,154 @@ let describe = function
       Printf.sprintf "reset %.0f%% to a leaked copy" (100. *. fraction)
 
 let global_budget_used qs ~before ~after = Distortion.global qs before after
+
+(* ------------------------------------------------------------------ *)
+(* Structural attacks: the suspect is no longer a weights-only copy. *)
+
+type structural =
+  | Delete_tuples of { fraction : float }
+  | Subset_sample of { keep : float }
+  | Insert_noise_tuples of { count : int; amplitude : int }
+  | Shuffle_universe
+
+(* Rebuild the weighted structure induced on [kept] (original element ids,
+   order significant — it becomes the new numbering).  Weights of dropped
+   elements disappear; surviving weights follow the renaming.  Names are
+   materialized first so element identity survives the renumbering. *)
+let induce_weighted (ws : Weighted.structure) kept =
+  let g = Structure.with_default_names ws.Weighted.graph in
+  let g', old_of_new = Structure.induced g kept in
+  let new_of_old = Hashtbl.create (Array.length old_of_new) in
+  Array.iteri (fun nw od -> Hashtbl.replace new_of_old od nw) old_of_new;
+  let rename t =
+    let out = Array.map (fun x -> Option.value ~default:(-1) (Hashtbl.find_opt new_of_old x)) t in
+    if Array.exists (fun x -> x < 0) out then None else Some out
+  in
+  let w' =
+    List.fold_left
+      (fun acc (t, v) ->
+        match rename t with Some t' -> Weighted.set acc t' v | None -> acc)
+      (Weighted.create
+         ~default:(Weighted.default ws.Weighted.weights)
+         (Weighted.arity ws.Weighted.weights))
+      (Weighted.bindings ws.Weighted.weights)
+  in
+  Weighted.make g' w'
+
+let apply_structural g attack (ws : Weighted.structure) =
+  let graph = ws.Weighted.graph in
+  let n = Structure.size graph in
+  match attack with
+  | Delete_tuples { fraction } ->
+      let kept =
+        List.filter (fun _ -> not (Prng.bernoulli g fraction)) (Structure.universe graph)
+      in
+      let kept = if kept = [] then [ 0 ] else kept in
+      induce_weighted ws kept
+  | Subset_sample { keep } ->
+      let kept = List.filter (fun _ -> Prng.bernoulli g keep) (Structure.universe graph) in
+      let kept = if kept = [] then [ 0 ] else kept in
+      induce_weighted ws kept
+  | Shuffle_universe ->
+      let perm = Array.of_list (Structure.universe graph) in
+      Prng.shuffle g perm;
+      induce_weighted ws (Array.to_list perm)
+  | Insert_noise_tuples { count; amplitude } ->
+      let g0 = Structure.with_default_names graph in
+      let n' = n + count in
+      let names =
+        Array.init n' (fun i ->
+            if i < n then Structure.name_of g0 i
+            else Printf.sprintf "noise_%d" i)
+      in
+      let schema = Structure.schema graph in
+      let fresh = Structure.create ~names schema n' in
+      let fresh =
+        Structure.fold_relations
+          (fun name r acc -> Structure.set_relation acc name r)
+          graph fresh
+      in
+      (* Each noise element joins one random tuple per relation symbol. *)
+      let fresh =
+        List.fold_left
+          (fun acc e ->
+            List.fold_left
+              (fun acc (sym : Schema.symbol) ->
+                let t =
+                  Array.init sym.Schema.arity (fun _ -> Prng.int g n')
+                in
+                let slot = Prng.int g sym.Schema.arity in
+                t.(slot) <- e;
+                Structure.add_tuple acc sym.Schema.name t)
+              acc (Schema.symbols schema))
+          fresh
+          (List.init count (fun i -> n + i))
+      in
+      let weights =
+        if Weighted.arity ws.Weighted.weights = 1 then
+          List.fold_left
+            (fun w e -> Weighted.set_elt w e (Prng.int g (max 1 (amplitude + 1))))
+            ws.Weighted.weights
+            (List.init count (fun i -> n + i))
+        else ws.Weighted.weights
+      in
+      Weighted.make fresh weights
+
+let describe_structural = function
+  | Delete_tuples { fraction } ->
+      Printf.sprintf "delete %.0f%% of tuples" (100. *. fraction)
+  | Subset_sample { keep } ->
+      Printf.sprintf "subset-sample keeping %.0f%%" (100. *. keep)
+  | Insert_noise_tuples { count; _ } ->
+      Printf.sprintf "insert %d noise tuples" count
+  | Shuffle_universe -> "shuffle the universe numbering"
+
+(* ------------------------------------------------------------------ *)
+(* XML tree attacks: perturb the document shape itself. *)
+
+type tree_attack =
+  | Delete_subtrees of { fraction : float }
+  | Reorder_siblings
+  | Strip_values of { fraction : float }
+
+let apply_tree g attack u =
+  let rec map_node (x : Wm_xml.Xml.t) : Wm_xml.Xml.t option =
+    match x with
+    | Wm_xml.Xml.Text s -> begin
+        match attack with
+        | Strip_values { fraction }
+          when int_of_string_opt s <> None && Prng.bernoulli g fraction ->
+            None
+        | _ -> Some x
+      end
+    | Wm_xml.Xml.Element { tag; attrs; children } ->
+        let survivors =
+          List.filter_map
+            (fun c ->
+              match (attack, c) with
+              | Delete_subtrees { fraction }, Wm_xml.Xml.Element _
+                when Prng.bernoulli g fraction ->
+                  None
+              | _ -> map_node c)
+            children
+        in
+        let survivors =
+          match attack with
+          | Reorder_siblings when List.length survivors > 1 ->
+              let a = Array.of_list survivors in
+              Prng.shuffle g a;
+              Array.to_list a
+          | _ -> survivors
+        in
+        Some (Wm_xml.Xml.Element { tag; attrs; children = survivors })
+  in
+  match map_node (Wm_xml.Utree.to_xml u) with
+  | Some doc -> Wm_xml.Utree.of_xml doc
+  | None -> u (* the root is never deleted *)
+
+let describe_tree = function
+  | Delete_subtrees { fraction } ->
+      Printf.sprintf "delete %.0f%% of subtrees" (100. *. fraction)
+  | Reorder_siblings -> "reorder siblings"
+  | Strip_values { fraction } ->
+      Printf.sprintf "strip %.0f%% of value nodes" (100. *. fraction)

@@ -1,11 +1,21 @@
 (** Attack models for the adversarial setting (Section 1 / Fact 1).
 
-    An attacker holds a marked instance and perturbs weights to erase the
-    mark, under the {e bounded distortion} assumption (it must still sell
-    useful data) and the {e limited knowledge} assumption (it does not know
-    which weights carry the mark).  Attacks transform weight assignments;
-    they never touch the structure (that would change the data's meaning,
-    and membership in query results is parameter data by definition). *)
+    An attacker holds a marked instance and perturbs it to erase the mark,
+    under the {e bounded distortion} assumption (it must still sell useful
+    data) and the {e limited knowledge} assumption (it does not know which
+    weights carry the mark).
+
+    Two families:
+
+    {ul
+    {- {e Weight-level} attacks ({!attack}) transform weight assignments
+       and never touch the structure — the paper's Fact 1 regime, where
+       membership in query results is parameter data by definition.}
+    {- {e Structural} attacks ({!structural}, {!tree_attack}) model a real
+       redistributor who deletes tuples, samples a subset, injects noise
+       rows, renumbers, or prunes and reorders XML subtrees.  These return
+       a perturbed {e structure}; the aligned detectors silently break on
+       them, and {!Survivable} is the degraded-mode answer.}} *)
 
 type attack =
   | Uniform_noise of { amplitude : int }
@@ -34,3 +44,55 @@ val global_budget_used :
   Query_system.t -> before:Weighted.t -> after:Weighted.t -> int
 (** The d' the attack actually spent (max query-weight change) — reported
     next to detection rates in experiment E10. *)
+
+(** {1 Structural attacks on relational instances}
+
+    All four renumber or resize the universe; surviving elements keep
+    their display name (materialized via
+    {!Wm_relational.Structure.with_default_names} when absent), the moral
+    equivalent of rows keeping their key columns when other rows are
+    deleted.  {!Survivable.align_structures} re-identifies carriers
+    through those names. *)
+
+type structural =
+  | Delete_tuples of { fraction : float }
+      (** Drop each element independently with the given probability,
+          together with every relation tuple and weight mentioning it.
+          At least one element always survives. *)
+  | Subset_sample of { keep : float }
+      (** Keep each element independently with probability [keep] — the
+          "sell a sample" redistribution attack. *)
+  | Insert_noise_tuples of { count : int; amplitude : int }
+      (** Append [count] fresh elements, each joining one random tuple per
+          relation symbol; unary weights of noise elements are uniform in
+          [0, amplitude]. *)
+  | Shuffle_universe
+      (** Renumber the elements by a random permutation — pure
+          identity-stripping; no information is lost, but detectors keyed
+          on element ids read garbage. *)
+
+val apply_structural :
+  Prng.t -> structural -> Weighted.structure -> Weighted.structure
+(** Deterministic in the generator: equal seeds give equal suspects. *)
+
+val describe_structural : structural -> string
+
+(** {1 Structural attacks on XML documents} *)
+
+type tree_attack =
+  | Delete_subtrees of { fraction : float }
+      (** Delete each non-root element subtree independently with the
+          given probability (a surviving ancestor keeps its other
+          children). *)
+  | Reorder_siblings
+      (** Shuffle the child order under every element — document order,
+          which node-id-keyed detectors depend on, is destroyed. *)
+  | Strip_values of { fraction : float }
+      (** Delete each integer-valued text node (each weight carrier)
+          independently with the given probability. *)
+
+val apply_tree : Prng.t -> tree_attack -> Wm_xml.Utree.t -> Wm_xml.Utree.t
+(** Deterministic in the generator; attributes and non-value text are
+    carried along untouched. *)
+
+val describe_tree : tree_attack -> string

@@ -1,0 +1,172 @@
+type spec = Weights of Adversary.attack | Structural of Adversary.structural
+
+let describe_spec = function
+  | Weights a -> Adversary.describe a
+  | Structural a -> Adversary.describe_structural a
+
+type outcome = {
+  attack : string;
+  redundancy : int;
+  bits : int;
+  carriers : int;
+  erased : int;
+  erasure_rate : float;
+  bit_errors : int;
+  ber : float;
+  pvalue : float;
+  distortion : int option;
+  recovered : bool;
+  naive_recovered : bool;
+}
+
+type report = {
+  workload : string;
+  message : Bitvec.t;
+  capacity : int;
+  active : int;
+  rows : outcome list;
+}
+
+let default_grid ~active =
+  let tenth = max 1 (active / 10) in
+  [
+    Weights (Adversary.Constant_offset { delta = 0 });
+    Weights (Adversary.Uniform_noise { amplitude = 1 });
+    Weights (Adversary.Uniform_noise { amplitude = 2 });
+    Weights (Adversary.Random_flips { count = tenth; amplitude = 1 });
+    Weights (Adversary.Random_flips { count = 3 * tenth; amplitude = 1 });
+    Weights (Adversary.Constant_offset { delta = 7 });
+    Structural (Adversary.Delete_tuples { fraction = 0.1 });
+    Structural (Adversary.Delete_tuples { fraction = 0.2 });
+    Structural (Adversary.Delete_tuples { fraction = 0.3 });
+    Structural (Adversary.Subset_sample { keep = 0.5 });
+    Structural (Adversary.Insert_noise_tuples { count = tenth; amplitude = 999 });
+    Structural Adversary.Shuffle_universe;
+  ]
+
+(* A deterministic per-cell generator: the cell's position in the grid is
+   its seed, so adding rows never reshuffles earlier ones. *)
+let cell_prng ~seed ~redundancy ~index =
+  Prng.create ((seed * 1_000_003) + (redundancy * 1009) + index)
+
+let run ?(options = Local_scheme.default_options) ?(seed = 0xA77AC)
+    ?(redundancies = [ 1; 3; 5 ]) ?(message_bits = 4) ?grid ?workload
+    (ws : Weighted.structure) q =
+  match Local_scheme.prepare ~options ws q with
+  | Error e -> Error ("attack suite: " ^ e)
+  | Ok scheme ->
+      let qs = Local_scheme.query_system scheme in
+      let active = Query_system.active qs in
+      let nactive = List.length active in
+      let grid = match grid with Some g -> g | None -> default_grid ~active:nactive in
+      let capacity = Local_scheme.capacity scheme in
+      let base = Robust.of_local scheme in
+      let message = Codec.of_int ~bits:message_bits (0b1011 land ((1 lsl message_bits) - 1)) in
+      let usable = List.filter (fun r -> r * message_bits <= capacity) redundancies in
+      if usable = [] then
+        Error
+          (Printf.sprintf
+             "attack suite: capacity %d cannot hold %d bits at any requested \
+              redundancy"
+             capacity message_bits)
+      else begin
+        let rows = ref [] in
+        List.iter
+          (fun times ->
+            let marked = Robust.mark base ~times message ws.Weighted.weights in
+            let marked_ws = { ws with Weighted.weights = marked } in
+            List.iteri
+              (fun index spec ->
+                let g = cell_prng ~seed ~redundancy:times ~index in
+                let suspect_ws, distortion =
+                  match spec with
+                  | Weights a ->
+                      let attacked = Adversary.apply g a ~active marked in
+                      ( { ws with Weighted.weights = attacked },
+                        Some (Distortion.global qs marked attacked) )
+                  | Structural a ->
+                      (Adversary.apply_structural g a marked_ws, None)
+                in
+                let rv, _alignment =
+                  Survivable.detect_structure scheme ~times
+                    ~length:message_bits ~original:ws ~suspect:suspect_ws
+                in
+                let carriers = times * message_bits in
+                let erased = rv.Survivable.carriers.Detector.erased in
+                let bit_errors = Codec.hamming message rv.Survivable.message in
+                let naive =
+                  Robust.detect base ~times ~length:message_bits
+                    ~original:ws.Weighted.weights
+                    ~server:
+                      (Query_system.server qs suspect_ws.Weighted.weights)
+                in
+                rows :=
+                  {
+                    attack = describe_spec spec;
+                    redundancy = times;
+                    bits = message_bits;
+                    carriers;
+                    erased;
+                    erasure_rate =
+                      float_of_int erased /. float_of_int (max 1 carriers);
+                    bit_errors;
+                    ber =
+                      float_of_int bit_errors /. float_of_int message_bits;
+                    pvalue = Survivable.match_pvalue ~expected:message rv;
+                    distortion;
+                    recovered = Bitvec.equal message rv.Survivable.message;
+                    naive_recovered = Bitvec.equal message naive;
+                  }
+                  :: !rows)
+              grid)
+          usable;
+        Ok
+          {
+            workload =
+              (match workload with
+              | Some w -> w
+              | None -> Printf.sprintf "structure, %d active weights" nactive);
+            message;
+            capacity;
+            active = nactive;
+            rows = List.rev !rows;
+          }
+      end
+
+let csv_header =
+  "attack,redundancy,bits,carriers,erased,erasure_rate,bit_errors,ber,pvalue,distortion,recovered,naive_recovered"
+
+let to_csv r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf csv_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "%S,%d,%d,%d,%d,%.4f,%d,%.4f,%.3g,%s,%b,%b\n" o.attack
+           o.redundancy o.bits o.carriers o.erased o.erasure_rate o.bit_errors
+           o.ber o.pvalue
+           (match o.distortion with Some d -> string_of_int d | None -> "")
+           o.recovered o.naive_recovered))
+    r.rows;
+  Buffer.contents buf
+
+let render r =
+  let t =
+    Texttab.create
+      [ "attack"; "R"; "erased"; "BER"; "p-value"; "d'"; "survivable"; "aligned" ]
+  in
+  List.iter
+    (fun o ->
+      Texttab.addf t "%s|%d|%d/%d|%.2f|%.2g|%s|%s|%s" o.attack o.redundancy
+        o.erased o.carriers o.ber o.pvalue
+        (match o.distortion with Some d -> string_of_int d | None -> "-")
+        (if o.recovered then "recovered" else "LOST")
+        (if o.naive_recovered then "recovered" else "LOST"))
+    r.rows;
+  Printf.sprintf
+    "workload: %s\nmessage: %d bits (%d), capacity %d, active %d\n%s"
+    r.workload (Bitvec.length r.message) (Codec.to_int r.message) r.capacity
+    r.active (Texttab.render t)
+
+let pp fmt r = Format.pp_print_string fmt (render r)

@@ -1,0 +1,70 @@
+(** Deterministic attack-survivability sweeps.
+
+    The harness behind experiment E19 and the [wmark attack] subcommand:
+    mark a workload through the {!Robust} (Fact 1) wrapper, subject the
+    marked copy to a grid of (attack x budget x redundancy) cells — both
+    weight-level ({!Adversary.attack}) and structural
+    ({!Adversary.structural}) — and record, per cell, the bit-error rate,
+    the erasure rate, the id-match p-value over surviving carriers, the
+    distortion the attacker spent, and whether the survivable and the
+    plain aligned detector each recovered the message.
+
+    Everything is a pure function of the seed: each cell gets its own
+    generator derived from (seed, redundancy, grid position), so adding a
+    row to the grid never changes earlier rows. *)
+
+type spec = Weights of Adversary.attack | Structural of Adversary.structural
+
+val describe_spec : spec -> string
+
+type outcome = {
+  attack : string;
+  redundancy : int;
+  bits : int;
+  carriers : int;  (** pairs read = redundancy * bits *)
+  erased : int;
+  erasure_rate : float;
+  bit_errors : int;  (** Hamming distance decoded vs embedded *)
+  ber : float;
+  pvalue : float;  (** id-match p-value over surviving carriers *)
+  distortion : int option;
+      (** global budget d' spent, for weight-level attacks *)
+  recovered : bool;  (** survivable detector got the exact message *)
+  naive_recovered : bool;  (** the aligned detector path did too *)
+}
+
+type report = {
+  workload : string;
+  message : Bitvec.t;
+  capacity : int;
+  active : int;
+  rows : outcome list;
+}
+
+val default_grid : active:int -> spec list
+(** Budgets scaled to the workload: flip counts at 10%/30% of the active
+    set, deletions at 10–30%, a half sample, 10% noise rows, a shuffle,
+    plus a zero-delta offset as the no-attack baseline row. *)
+
+val run :
+  ?options:Local_scheme.options ->
+  ?seed:int ->
+  ?redundancies:int list ->
+  ?message_bits:int ->
+  ?grid:spec list ->
+  ?workload:string ->
+  Weighted.structure ->
+  Query.t ->
+  (report, string) result
+(** Prepare the Theorem 3 scheme once, then sweep.  Redundancies that do
+    not fit the capacity are skipped; [Error _] when none fits or the
+    scheme cannot be prepared. *)
+
+val to_csv : report -> string
+(** Machine-readable form, one line per cell, RFC-4180-quoted attack
+    labels. *)
+
+val render : report -> string
+(** Human-readable table. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,8 +1,10 @@
 type verdict = {
   decoded : Bitvec.t;
+  erasure : Bitvec.t;
   strong : int;
   weak : int;
   silent : int;
+  erased : int;
   confidence : float;
 }
 
@@ -10,30 +12,41 @@ let read pairs ~original ~observed ~length =
   if length > List.length pairs then
     invalid_arg "Detector.read: length exceeds pair count";
   let decoded = Bitvec.create length in
-  let strong = ref 0 and weak = ref 0 and silent = ref 0 in
+  let erasure = Bitvec.create length in
+  let strong = ref 0 and weak = ref 0 and silent = ref 0 and erased = ref 0 in
   List.iteri
     (fun i { Pairing.fst; snd } ->
       if i < length then begin
-        let delta t =
-          match Tuple.Map.find_opt t observed with
-          | Some v -> v - Weighted.get original t
-          | None -> 0
-        in
-        let d = delta fst - delta snd in
-        Bitvec.set decoded i (d > 0);
-        if d = 2 || d = -2 then incr strong
-        else if d <> 0 then incr weak
-        else incr silent
+        let seen t = Tuple.Map.mem t observed in
+        if (not (seen fst)) && not (seen snd) then begin
+          Bitvec.set erasure i true;
+          incr erased
+        end
+        else begin
+          let delta t =
+            match Tuple.Map.find_opt t observed with
+            | Some v -> v - Weighted.get original t
+            | None -> 0
+          in
+          let d = delta fst - delta snd in
+          Bitvec.set decoded i (d > 0);
+          if d = 2 || d = -2 then incr strong
+          else if d <> 0 then incr weak
+          else incr silent
+        end
       end)
     pairs;
+  let read_count = length - !erased in
   {
     decoded;
+    erasure;
     strong = !strong;
     weak = !weak;
     silent = !silent;
+    erased = !erased;
     confidence =
-      (if length = 0 then 0.
-       else float_of_int (!strong + !weak) /. float_of_int length);
+      (if read_count = 0 then 0.
+       else float_of_int (!strong + !weak) /. float_of_int read_count);
   }
 
 let read_weights pairs ~original ~suspect ~length =
@@ -78,8 +91,14 @@ let match_pvalue ~expected verdict =
   let n = Bitvec.length expected in
   if n <> Bitvec.length verdict.decoded then
     invalid_arg "Detector.match_pvalue: length mismatch";
-  let agree = n - Codec.hamming expected verdict.decoded in
-  binomial_tail ~trials:n ~successes:agree
+  let trials = ref 0 and agree = ref 0 in
+  for i = 0 to n - 1 do
+    if not (Bitvec.get verdict.erasure i) then begin
+      incr trials;
+      if Bitvec.get expected i = Bitvec.get verdict.decoded i then incr agree
+    end
+  done;
+  binomial_tail ~trials:!trials ~successes:!agree
 
 let is_marked ?(alpha = 0.01) verdict =
   let read = verdict.strong + verdict.weak + verdict.silent in

@@ -13,27 +13,37 @@
     delta(fst) - delta(snd) is exactly +-2 (an intact orientation), {e weak}
     when it is nonzero but not +-2 (damaged but readable by sign), and
     {e silent} when it is 0 (no signal — what unrelated data shows on
-    almost every pair).  Under the null hypothesis "no mark", each pair's
-    sign is a fair coin at best, so the binomial tail on sign-consistency
-    gives a p-value for ownership claims. *)
+    almost every pair).  A pair neither of whose endpoints was observed at
+    all — deleted by a structural attack, or not covered by any asked
+    parameter on a query budget — is an {e erasure}: it carries no evidence
+    in either direction and is excluded from the statistics rather than
+    counted as disagreement.  Under the null hypothesis "no mark", each
+    surviving pair's sign is a fair coin at best, so the binomial tail on
+    sign-consistency over the survivors gives a p-value for ownership
+    claims. *)
 
 type verdict = {
   decoded : Bitvec.t;
+  erasure : Bitvec.t;  (** bit i set when carrier i was erased *)
   strong : int;  (** pairs with an intact +-2 difference *)
   weak : int;  (** damaged but sign-readable pairs *)
-  silent : int;  (** pairs with zero difference *)
-  confidence : float;  (** (strong + weak) / pairs read *)
+  silent : int;  (** observed pairs with zero difference *)
+  erased : int;  (** pairs with no observed endpoint at all *)
+  confidence : float;  (** (strong + weak) / pairs surviving *)
 }
 
 val read :
   Pairing.pair list -> original:Weighted.t -> observed:int Tuple.Map.t ->
   length:int -> verdict
 (** Decode [length] bits from the pair list, classifying each carrier.
-    Missing observations count as silent. *)
+    A pair with {e no} observed endpoint is an erasure; a pair with one
+    observed endpoint still votes by the sign of the surviving half. *)
 
 val read_weights :
   Pairing.pair list -> original:Weighted.t -> suspect:Weighted.t ->
   length:int -> verdict
+(** Total-observation convenience: every endpoint is read from [suspect],
+    so no carrier is erased. *)
 
 val binomial_tail : trials:int -> successes:int -> float
 (** P[X >= successes] for X ~ Binomial(trials, 1/2) — the null-hypothesis
@@ -44,10 +54,14 @@ val binomial_tail_p : p:float -> trials:int -> successes:int -> float
 
 val match_pvalue : expected:Bitvec.t -> verdict -> float
 (** p-value of the decoded message agreeing with [expected] as much as it
-    does, under the no-mark null.  Small value = confident accusation. *)
+    does, under the no-mark null, conditioned on the {e surviving} carriers
+    only — erased positions contribute neither agreement nor trials, so a
+    subset attack cannot manufacture disagreement by deleting carriers.
+    Small value = confident accusation. *)
 
 val is_marked : ?alpha:float -> verdict -> bool
 (** Does the carrier signal itself (ignoring the message value) reject the
     no-mark null at level [alpha] (default 0.01)?  Tests the {e strong}
     count against the conservative ceiling 1/4 on the chance that
-    unrelated 1-local noise fakes an exact +-2 antisymmetric pair. *)
+    unrelated 1-local noise fakes an exact +-2 antisymmetric pair, over
+    the surviving (non-erased) carriers. *)

@@ -4,7 +4,27 @@ type t =
 
 exception Parse_error of string
 
-let fail off msg = raise (Parse_error (Printf.sprintf "offset %d: %s" off msg))
+type error = { line : int; column : int; message : string }
+
+let error_to_string e =
+  Printf.sprintf "line %d, column %d: %s" e.line e.column e.message
+
+(* Internal: failures carry the raw offset; [parse_result] converts it to
+   line/column against the source once, at the boundary. *)
+exception Fail_at of int * string
+
+let fail off msg = raise (Fail_at (off, msg))
+
+let position_of src off =
+  let off = min (max 0 off) (String.length src) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to off - 1 do
+    if src.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, off - !bol + 1)
 
 (* ------------------------------------------------------------------ *)
 (* Lexing helpers over a string cursor. *)
@@ -42,7 +62,7 @@ let read_name c =
   if c.pos = start then fail c.pos "expected a name";
   String.sub c.src start (c.pos - start)
 
-let decode_entities s =
+let decode_entities ?(base = 0) s =
   let buf = Buffer.create (String.length s) in
   let n = String.length s in
   let i = ref 0 in
@@ -51,7 +71,7 @@ let decode_entities s =
       let semi =
         match String.index_from_opt s !i ';' with
         | Some j when j - !i <= 6 -> j
-        | _ -> fail !i "unterminated entity"
+        | _ -> fail (base + !i) "unterminated entity"
       in
       let name = String.sub s (!i + 1) (semi - !i - 1) in
       Buffer.add_string buf
@@ -61,7 +81,7 @@ let decode_entities s =
         | "amp" -> "&"
         | "quot" -> "\""
         | "apos" -> "'"
-        | _ -> fail !i ("unknown entity &" ^ name ^ ";"));
+        | _ -> fail (base + !i) ("unknown entity &" ^ name ^ ";"));
       i := semi + 1
     end
     else begin
@@ -126,7 +146,7 @@ let read_attr c =
   (match String.index_from_opt c.src c.pos quote with
   | Some j -> c.pos <- j
   | None -> fail c.pos "unterminated attribute value");
-  let value = decode_entities (String.sub c.src start (c.pos - start)) in
+  let value = decode_entities ~base:start (String.sub c.src start (c.pos - start)) in
   advance c 1;
   (name, value)
 
@@ -173,19 +193,37 @@ and read_children c tag =
       done;
       if peek c = None then fail start ("unterminated element " ^ tag);
       let txt = String.sub c.src start (c.pos - start) in
-      if not (is_blank txt) then out := Text (decode_entities (String.trim txt)) :: !out
+      if not (is_blank txt) then
+        out := Text (decode_entities ~base:start (String.trim txt)) :: !out
     end
   done;
   List.rev !out
 
+let parse_result s =
+  let run () =
+    let c = { src = s; pos = 0 } in
+    skip_misc c;
+    if peek c <> Some '<' then fail c.pos "document must start with an element";
+    let doc = read_element c in
+    skip_misc c;
+    if c.pos <> String.length s then
+      fail c.pos "trailing content after document";
+    doc
+  in
+  match run () with
+  | doc -> Ok doc
+  | exception Fail_at (off, message) ->
+      let line, column = position_of s off in
+      Error { line; column; message }
+  | exception (Invalid_argument m | Failure m) ->
+      (* Defensive: no parser path should reach here, but a total result
+         API must not leak an exception on any input. *)
+      Error { line = 0; column = 0; message = m }
+
 let parse s =
-  let c = { src = s; pos = 0 } in
-  skip_misc c;
-  if peek c <> Some '<' then fail c.pos "document must start with an element";
-  let doc = read_element c in
-  skip_misc c;
-  if c.pos <> String.length s then fail c.pos "trailing content after document";
-  doc
+  match parse_result s with
+  | Ok doc -> doc
+  | Error e -> raise (Parse_error (error_to_string e))
 
 (* ------------------------------------------------------------------ *)
 

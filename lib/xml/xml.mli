@@ -11,11 +11,21 @@ type t =
   | Text of string
 
 exception Parse_error of string
-(** Raised with a message naming the offset and problem. *)
+(** Raised with a message naming the line, column and problem. *)
+
+type error = { line : int; column : int; message : string }
+(** 1-based line and column; both 0 when no position applies. *)
+
+val error_to_string : error -> string
+
+val parse_result : string -> (t, error) result
+(** Total: parses one document (leading [<?xml ...?>] allowed); every
+    malformed input comes back as [Error] with position information.
+    Never raises. *)
 
 val parse : string -> t
-(** Parses one document (leading [<?xml ...?>] allowed).
-    @raise Parse_error on malformed input. *)
+(** @raise Parse_error on malformed input (delegates to
+    {!parse_result}). *)
 
 val to_string : ?indent:bool -> t -> string
 (** Serializes; [indent] (default true) pretty-prints with 2-space

@@ -1,0 +1,223 @@
+(* Fuzzing the total input APIs: Textio.of_string_result and
+   Xml.parse_result must map EVERY input — truncated, bit-flipped, spliced
+   — to Ok or Error, never to an escaping exception.  Plus the name
+   round-trip guarantee of the Textio escaping. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let string = Alcotest.string
+let int = Alcotest.int
+let _ = (bool, string, int)
+
+(* --- deterministic mutation of a valid input ------------------------- *)
+
+let mutate g s =
+  let n = String.length s in
+  match Prng.int g 5 with
+  | 0 -> String.sub s 0 (Prng.int g (n + 1)) (* truncate *)
+  | 1 ->
+      (* flip one byte to a random printable-ish character *)
+      if n = 0 then s
+      else begin
+        let b = Bytes.of_string s in
+        Bytes.set b (Prng.int g n) (Char.chr (32 + Prng.int g 96));
+        Bytes.to_string b
+      end
+  | 2 ->
+      (* splice a chunk of the input into itself *)
+      if n < 2 then s
+      else
+        let i = Prng.int g n and j = Prng.int g n in
+        String.sub s 0 i ^ String.sub s j (n - j)
+  | 3 ->
+      (* insert junk *)
+      let i = Prng.int g (n + 1) in
+      let junk =
+        [| "\x00"; "%"; "&badent;"; "<"; "schema"; "-999999999999999999999";
+           "rel X"; "</"; "9 9 9 9"; "\xff\xfe" |]
+      in
+      String.sub s 0 i ^ Prng.choose g junk ^ String.sub s i (n - i)
+  | _ ->
+      (* duplicate a line *)
+      let lines = String.split_on_char '\n' s in
+      let k = List.length lines in
+      if k = 0 then s
+      else
+        let d = Prng.int g k in
+        String.concat "\n"
+          (List.concat (List.mapi (fun i l -> if i = d then [ l; l ] else [ l ]) lines))
+
+(* --- Textio ---------------------------------------------------------- *)
+
+let valid_textio =
+  lazy
+    (Textio.to_string
+       (Wm_workload.Random_struct.travel (Prng.create 1) ~travels:8
+          ~transports:20))
+
+let test_textio_fuzz () =
+  let g = Prng.create 0xF022 in
+  let base = Lazy.force valid_textio in
+  for _ = 1 to 60 do
+    let input = mutate g base in
+    match Textio.of_string_result input with
+    | Ok _ | Error _ -> ()
+    (* any exception escaping of_string_result fails the test run *)
+  done
+
+let malformed_textio =
+  [
+    "";
+    "schema";
+    "schema Route";
+    "schema Route/x";
+    "schema Route/2\nsize -5";
+    "schema Route/2\nsize 3\nrel Route 0";
+    "schema Route/2\nsize 3\nrel Route 0 9";
+    "schema Route/2\nsize 3\nrel Nope 0 1";
+    "schema Route/2\nsize 3\nweight";
+    "schema Route/2\nsize 3\nweight 0 x";
+    "schema Route/2\nsize 3\nname 99 far away";
+    "schema Route/2\nsize 3\nbogus directive";
+    "size 3";
+    "schema Route/2";
+    "schema Route/2\nweight_arity 0\nsize 3";
+  ]
+
+let test_textio_malformed_are_errors () =
+  List.iter
+    (fun input ->
+      match Textio.of_string_result input with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" input)
+    malformed_textio
+
+let test_textio_error_lines () =
+  (* The error points at the offending line. *)
+  match Textio.of_string_result "schema Route/2\nsize 3\nrel Route 0 9\n" with
+  | Error e -> check int "line of the bad tuple" 3 e.Textio.line
+  | Ok _ -> Alcotest.fail "accepted an out-of-range tuple"
+
+let test_textio_exception_api_delegates () =
+  match Textio.of_string "schema Route/2\nsize 3\nrel Route 0 9\n" with
+  | exception Textio.Format_error m ->
+      check bool "message carries the line" true
+        (String.length m >= 6 && String.sub m 0 6 = "line 3")
+  | _ -> Alcotest.fail "expected Format_error"
+
+(* Names that exercise every escape: '#', '%', tabs, newlines, leading/
+   trailing/doubled spaces — all must survive a write/parse cycle. *)
+let test_textio_name_roundtrip () =
+  let names =
+    [| "plain"; "with#hash"; " lead"; "trail "; "two  spaces"; "pct%20";
+       "tab\there"; "new\nline"; "%"; " "; "a # b % c" |]
+  in
+  let schema = Schema.make ~weight_arity:1 [ { Schema.name = "E"; arity = 2 } ] in
+  let g = Structure.create ~names schema (Array.length names) in
+  let g = Structure.add_tuple g "E" (Tuple.of_list [ 0; 1 ]) in
+  let w =
+    List.fold_left
+      (fun w x -> Weighted.set w (Tuple.singleton x) (10 + x))
+      (Weighted.create 1)
+      (Structure.universe g)
+  in
+  let ws = Weighted.make g w in
+  match Textio.of_string_result (Textio.to_string ws) with
+  | Error e -> Alcotest.failf "round-trip rejected: %s" (Textio.error_to_string e)
+  | Ok ws' ->
+      Array.iteri
+        (fun x n ->
+          check string
+            (Printf.sprintf "name %d" x)
+            n
+            (Structure.name_of ws'.Weighted.graph x))
+        names;
+      check bool "weights survive" true
+        (Weighted.equal ws.Weighted.weights ws'.Weighted.weights)
+
+(* A valid file still parses after a to_string/of_string/to_string cycle:
+   the fuzz mutations above must not be the only guarantee. *)
+let test_textio_roundtrip_stable () =
+  let base = Lazy.force valid_textio in
+  match Textio.of_string_result base with
+  | Error e -> Alcotest.failf "valid input rejected: %s" (Textio.error_to_string e)
+  | Ok ws -> check string "fixpoint" base (Textio.to_string ws)
+
+(* --- XML ------------------------------------------------------------- *)
+
+let valid_xml =
+  lazy
+    (Wm_xml.Xml.to_string
+       (Wm_xml.Utree.to_xml
+          (Wm_workload.School_xml.generate (Prng.create 2) ~students:6 ())))
+
+let test_xml_fuzz () =
+  let g = Prng.create 0xF033 in
+  let base = Lazy.force valid_xml in
+  for _ = 1 to 60 do
+    let input = mutate g base in
+    match Wm_xml.Xml.parse_result input with Ok _ | Error _ -> ()
+  done
+
+let malformed_xml =
+  [
+    "";
+    "just text";
+    "<";
+    "<a";
+    "<a>";
+    "</a>";
+    "<a></b>";
+    "<a><b></a></b>";
+    "<a b=></a>";
+    "<a b='x></a>";
+    "<a>&bogus;</a>";
+    "<a>&unterminated</a>";
+    "<a/><b/>";
+    "<!-- unterminated";
+    "<?pi unterminated";
+    "<a>text</a> trailing";
+  ]
+
+let test_xml_malformed_are_errors () =
+  List.iter
+    (fun input ->
+      match Wm_xml.Xml.parse_result input with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed XML %S" input)
+    malformed_xml
+
+let test_xml_error_positions () =
+  match Wm_xml.Xml.parse_result "<a>\n  <b>\n</a>" with
+  | Error e ->
+      check bool "line past the opening tag" true (e.Wm_xml.Xml.line >= 2)
+  | Ok _ -> Alcotest.fail "accepted a mismatched closing tag"
+
+let test_xml_exception_api_delegates () =
+  match Wm_xml.Xml.parse "<a><b></a>" with
+  | exception Wm_xml.Xml.Parse_error m ->
+      check bool "message has a position" true
+        (String.length m > 0 && String.sub m 0 4 = "line")
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let test_xml_valid_roundtrip () =
+  let base = Lazy.force valid_xml in
+  match Wm_xml.Xml.parse_result base with
+  | Error e ->
+      Alcotest.failf "valid XML rejected: %s" (Wm_xml.Xml.error_to_string e)
+  | Ok doc -> check string "fixpoint" base (Wm_xml.Xml.to_string doc)
+
+let suite =
+  [
+    ("textio fuzz (60 mutants)", `Quick, test_textio_fuzz);
+    ("textio malformed inputs", `Quick, test_textio_malformed_are_errors);
+    ("textio error line numbers", `Quick, test_textio_error_lines);
+    ("textio exception API delegates", `Quick, test_textio_exception_api_delegates);
+    ("textio name round-trip", `Quick, test_textio_name_roundtrip);
+    ("textio serialization fixpoint", `Quick, test_textio_roundtrip_stable);
+    ("xml fuzz (60 mutants)", `Quick, test_xml_fuzz);
+    ("xml malformed inputs", `Quick, test_xml_malformed_are_errors);
+    ("xml error positions", `Quick, test_xml_error_positions);
+    ("xml exception API delegates", `Quick, test_xml_exception_api_delegates);
+    ("xml serialization fixpoint", `Quick, test_xml_valid_roundtrip);
+  ]

@@ -10,6 +10,8 @@ let () =
       ("xml", Test_xml.suite);
       ("vc", Test_vc.suite);
       ("watermark", Test_watermark.suite);
+      ("survivable", Test_survivable.suite);
+      ("fuzz", Test_fuzz.suite);
       ("cliquewidth", Test_cliquewidth.suite);
       ("extensions", Test_extensions.suite);
       ("integration", Test_integration.suite);
