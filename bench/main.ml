@@ -3,16 +3,77 @@
      dune exec bench/main.exe            -- all experiments + micro-benches
      dune exec bench/main.exe -- e5 e7   -- a subset
      dune exec bench/main.exe -- --no-speed
+     dune exec bench/main.exe -- --jobs 4 --json BENCH_PR2.json
+
+   With --jobs > 1 the experiments themselves are dispatched on the
+   {!Par} pool (each experiment's output is captured in a buffer and
+   printed in submission order); --json writes per-experiment wall times
+   and recorded scalars to a machine-readable trajectory file.
 
    Experiment ids and the paper artifacts they reproduce are indexed in
    DESIGN.md section 4; paper-vs-measured is recorded in EXPERIMENTS.md. *)
 
 open Qpwm
 
+(* --- output plumbing --------------------------------------------------
+   Experiments print through [out].  Under sequential dispatch the sink
+   is unset and output streams to stdout; under parallel dispatch each
+   experiment task installs a per-task buffer in domain-local storage,
+   and the driver prints the buffers in submission order, so the
+   rendered report is identical for every job count. *)
+
+let sink : Buffer.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let out s =
+  match Domain.DLS.get sink with
+  | Some b -> Buffer.add_string b s
+  | None -> Stdlib.print_string s
+
+let print_string = out
+let print_endline s = out s; out "\n"
+let print_newline () = out "\n"
+
+module Printf = struct
+  let printf fmt = Stdlib.Printf.ksprintf out fmt
+  let eprintf = Stdlib.Printf.eprintf
+  let sprintf = Stdlib.Printf.sprintf
+end
+
+(* Same rendering as Texttab.print, routed through [out]. *)
+module Texttab = struct
+  include Texttab
+
+  let print ?title t =
+    (match title with
+    | Some s ->
+        print_newline ();
+        print_endline s;
+        print_endline (String.make (String.length s) '=')
+    | None -> ());
+    print_string (render t)
+end
+
+(* Wall-clock, not CPU time: parallel speedups are invisible to
+   [Sys.time], which sums over domains. *)
 let secs f =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let x = f () in
-  (x, Sys.time () -. t0)
+  (x, Unix.gettimeofday () -. t0)
+
+(* --- scalar trajectory ------------------------------------------------
+   Experiments may record named scalars; --json dumps them next to the
+   per-experiment wall time.  Guarded by a mutex: under parallel
+   dispatch several experiments record concurrently. *)
+
+let scalar_mutex = Mutex.create ()
+let scalars : (string, (string * Json.t) list ref) Hashtbl.t = Hashtbl.create 8
+
+let record_scalars ~experiment kvs =
+  Mutex.lock scalar_mutex;
+  (match Hashtbl.find_opt scalars experiment with
+  | Some r -> r := !r @ kvs
+  | None -> Hashtbl.add scalars experiment (ref kvs));
+  Mutex.unlock scalar_mutex
 
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -1202,7 +1263,7 @@ let e19 () =
           let rv, _ =
             Survivable.detect_tree
               ~pairs:(Tree_scheme.pairs scheme)
-              ~times ~length:bits ~original:doc ~suspect
+              ~times ~length:bits ~original:doc suspect
           in
           let naive =
             match
@@ -1235,17 +1296,96 @@ let e19 () =
          aligned detector reads garbage as soon as ids shift."
 
 (* ------------------------------------------------------------------ *)
+(* E20 — strong scaling of the wm_par pool: the two heaviest parallel
+   call sites (neighborhood type indexing, the attack grid) swept over
+   job counts, asserting along the way that every job count produces the
+   jobs=1 result bit for bit.  Run it alone (bench e20) for clean
+   timings: under parallel dispatch of the whole suite the sweeps share
+   the machine with other experiments. *)
+
+let e20 () =
+  header "E20. Strong scaling: wm_par pool, jobs in {1, 2, 4}";
+  let job_counts = [ 1; 2; 4 ] in
+  Printf.printf "recommended domains on this machine: %d\n"
+    (Domain.recommended_domain_count ());
+  let t =
+    Texttab.create [ "workload"; "jobs"; "wall s"; "speedup"; "= jobs 1" ]
+  in
+  let sweep name run equal =
+    let baseline = ref None in
+    let t1 = ref 1.0 in
+    List.iter
+      (fun j ->
+        let x, dt = secs (fun () -> run j) in
+        let same =
+          match !baseline with
+          | None ->
+              baseline := Some x;
+              t1 := dt;
+              true
+          | Some b -> equal b x
+        in
+        Texttab.addf t "%s|%d|%.3f|%.2fx|%s" name j dt (!t1 /. dt)
+          (if same then "yes" else "NO");
+        record_scalars ~experiment:"e20"
+          [
+            (Printf.sprintf "%s_wall_s_j%d" name j, Json.Float dt);
+            (Printf.sprintf "%s_speedup_j%d" name j, Json.Float (!t1 /. dt));
+            (Printf.sprintf "%s_identical_j%d" name j, Json.Bool same);
+          ];
+        if not same then
+          failwith (Printf.sprintf "e20: %s at jobs=%d diverged from jobs=1" name j))
+      job_counts
+  in
+  (* Workload A: rho-2 type indexing of a bounded-degree random graph —
+     sphere extraction plus in-bucket isomorphism, the Theorem 3
+     preprocessing cost. *)
+  let wsa = Random_struct.graph (Prng.create 41) ~n:420 ~max_degree:6 ~edges:940 in
+  let ga = wsa.Weighted.graph in
+  sweep "ntp-index"
+    (fun j -> Neighborhood.index_universe ~jobs:j ga ~rho:2 ~arity:1)
+    (fun (a : Neighborhood.index) b ->
+      Tuple.Map.equal ( = ) a.Neighborhood.types b.Neighborhood.types
+      && a.Neighborhood.representatives = b.Neighborhood.representatives);
+  (* Workload B: the E19 attack grid at redundancy 5, one pool task per
+     cell. *)
+  let wsb = Random_struct.travel (Prng.create 19) ~travels:100 ~transports:400 in
+  sweep "attack-grid"
+    (fun j ->
+      match
+        Attack_suite.run ~jobs:j ~seed:19 ~redundancies:[ 5 ] ~message_bits:4
+          wsb Random_struct.travel_query
+      with
+      | Ok r -> r
+      | Error e -> failwith ("e20: " ^ e))
+    ( = );
+  Texttab.print t;
+  Printf.printf "pool size after the sweeps: %d runners\n" (Par.pool_size ());
+  print_endline
+    "Every job count reproduces the jobs=1 report exactly (the pool's\n\
+     determinism contract); wall time drops with jobs up to the number of\n\
+     hardware domains the runner provides."
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
-    ("e19", e19);
+    ("e19", e19); ("e20", e20);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse acc jobs json = function
+    | [] -> (List.rev acc, jobs, json)
+    | "--jobs" :: v :: rest -> parse acc (int_of_string_opt v) json rest
+    | "--json" :: path :: rest -> parse acc jobs (Some path) rest
+    | a :: rest -> parse (a :: acc) jobs json rest
+  in
+  let args, jobs_arg, json_path = parse [] None None args in
+  (match jobs_arg with Some _ -> Par.set_jobs jobs_arg | None -> ());
   let no_speed = List.mem "--no-speed" args in
   let wanted = List.filter (fun a -> a <> "--no-speed") args in
   let to_run =
@@ -1260,7 +1400,59 @@ let () =
               None)
         wanted
   in
-  let t0 = Sys.time () in
-  List.iter (fun (_, f) -> f ()) to_run;
+  let t0 = Unix.gettimeofday () in
+  let results =
+    if Par.jobs () <= 1 then
+      (* sequential: stream straight to stdout *)
+      List.map
+        (fun (id, f) ->
+          let (), dt = secs f in
+          (id, None, dt))
+        to_run
+    else
+      (* parallel: one pool task per experiment, output captured
+         per-task and replayed below in submission order *)
+      Par.map_list
+        (fun (id, f) ->
+          let b = Buffer.create 4096 in
+          let prev = Domain.DLS.get sink in
+          Domain.DLS.set sink (Some b);
+          let (), dt =
+            Fun.protect
+              ~finally:(fun () -> Domain.DLS.set sink prev)
+              (fun () -> secs f)
+          in
+          (id, Some (Buffer.contents b), dt))
+        to_run
+  in
+  List.iter
+    (fun (_, captured, _) ->
+      match captured with Some s -> Stdlib.print_string s | None -> ())
+    results;
   if (not no_speed) && wanted = [] then Speed.run ();
-  Printf.printf "\ntotal: %.1f s\n" (Sys.time () -. t0)
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let experiments_json =
+        List.map
+          (fun (id, _, dt) ->
+            Json.Obj
+              ([ ("id", Json.String id); ("wall_s", Json.Float dt) ]
+              @
+              match Hashtbl.find_opt scalars id with
+              | Some r -> [ ("scalars", Json.Obj !r) ]
+              | None -> []))
+          results
+      in
+      Json.to_file path
+        (Json.Obj
+           [
+             ("schema", Json.String "qpwm-bench/1");
+             ("pr", Json.Int 2);
+             ("jobs", Json.Int (Par.jobs ()));
+             ("pool_size", Json.Int (Par.pool_size ()));
+             ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));
+             ("experiments", Json.List experiments_json);
+           ]);
+      Stdlib.Printf.printf "\nwrote %s\n" path);
+  Printf.printf "\ntotal: %.1f s (wall)\n" (Unix.gettimeofday () -. t0)

@@ -12,7 +12,7 @@
      wmark perturb marked.txt -q "Route(u,v)" --kind flips --count 5 -o att.txt
      wmark perturb marked.txt -q "Route(u,v)" --kind delete --fraction 0.2 -o att.txt
      wmark attack db.txt -q "Route(u,v)" --bits 4 --redundancy 5 --csv grid.csv
-     wmark attack                      # generated workload, default grid
+     wmark attack --jobs 4 --json grid.json   # generated workload, 4 domains
      wmark capacity small.txt -q "E(u,v)" --cond le --d 1
      wmark gen-school --students 40 -o school.xml
      wmark xml-mark school.xml -p "school/student[firstname=$a]/exam" \
@@ -48,6 +48,17 @@ let epsilon_term =
 let seed_term =
   let doc = "PRNG seed (scheme preparation is deterministic per seed)." in
   Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let jobs_term =
+  let doc =
+    "Worker domains for the parallel sections (type indexing, detection, \
+     the attack grid).  Default: $(b,WMARK_JOBS) or the machine's \
+     recommended domain count; 1 forces sequential execution.  Results \
+     are identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let set_jobs = function Some _ as j -> Par.set_jobs j | None -> ()
 
 let out_term =
   let doc = "Output file." in
@@ -108,8 +119,9 @@ let handle f =
 (* info *)
 
 let info_cmd =
-  let run file query params results rho epsilon seed =
+  let run file query params results rho epsilon seed jobs =
     handle @@ fun () ->
+    set_jobs jobs;
     let _, _, scheme =
       prepare_scheme file ~query ~params ~results ~rho ~epsilon ~seed
     in
@@ -129,13 +141,14 @@ let info_cmd =
     (Cmd.info "info" ~doc:"Report a scheme's capacity and certificates.")
     Term.(
       const run $ file $ query_term $ params_term $ results_term $ rho_term
-      $ epsilon_term $ seed_term)
+      $ epsilon_term $ seed_term $ jobs_term)
 
 (* mark *)
 
 let mark_cmd =
-  let run file query params results rho epsilon seed message bits out =
+  let run file query params results rho epsilon seed jobs message bits out =
     handle @@ fun () ->
+    set_jobs jobs;
     let ws, _, scheme =
       prepare_scheme file ~query ~params ~results ~rho ~epsilon ~seed
     in
@@ -153,13 +166,15 @@ let mark_cmd =
     (Cmd.info "mark" ~doc:"Embed a message into a weighted structure.")
     Term.(
       const run $ file $ query_term $ params_term $ results_term $ rho_term
-      $ epsilon_term $ seed_term $ message_term $ bits_term $ out_term)
+      $ epsilon_term $ seed_term $ jobs_term $ message_term $ bits_term
+      $ out_term)
 
 (* detect *)
 
 let detect_cmd =
-  let run original suspect query params results rho epsilon seed bits =
+  let run original suspect query params results rho epsilon seed jobs bits =
     handle @@ fun () ->
+    set_jobs jobs;
     let ws, _, scheme =
       prepare_scheme original ~query ~params ~results ~rho ~epsilon ~seed
     in
@@ -177,7 +192,7 @@ let detect_cmd =
     (Cmd.info "detect" ~doc:"Read a mark back from a suspect copy.")
     Term.(
       const run $ original $ suspect $ query_term $ params_term $ results_term
-      $ rho_term $ epsilon_term $ seed_term $ bits_term)
+      $ rho_term $ epsilon_term $ seed_term $ jobs_term $ bits_term)
 
 (* capacity *)
 
@@ -270,8 +285,10 @@ let perturb_cmd =
 (* attack — the full survivability grid *)
 
 let attack_cmd =
-  let run file query params results rho epsilon seed bits redundancies csv =
+  let run file query params results rho epsilon seed jobs bits redundancies csv
+      json =
     handle @@ fun () ->
+    set_jobs jobs;
     let ws, workload =
       match file with
       | Some f -> (Textio.load f, f)
@@ -287,15 +304,20 @@ let attack_cmd =
         ~workload ws q
     with
     | Error e -> failwith e
-    | Ok report -> (
+    | Ok report ->
         print_string (Attack_suite.render report);
-        match csv with
+        (match csv with
         | None -> ()
         | Some out ->
             let oc = open_out out in
             Fun.protect
               ~finally:(fun () -> close_out oc)
               (fun () -> output_string oc (Attack_suite.to_csv report));
+            Printf.printf "wrote %s\n" out);
+        (match json with
+        | None -> ()
+        | Some out ->
+            Json.to_file out (Attack_suite.to_json report);
             Printf.printf "wrote %s\n" out)
   in
   let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -312,6 +334,10 @@ let attack_cmd =
     let doc = "Also write the grid as CSV to $(docv)." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
   in
+  let json =
+    let doc = "Also write the grid as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
   Cmd.v
     (Cmd.info "attack"
        ~doc:
@@ -319,7 +345,8 @@ let attack_cmd =
           (weight-level and structural), realign, detect.")
     Term.(
       const run $ file $ query_dflt $ params_term $ results_term $ rho_term
-      $ epsilon_term $ seed_term $ bits $ redundancies $ csv)
+      $ epsilon_term $ seed_term $ jobs_term $ bits $ redundancies $ csv
+      $ json)
 
 (* multi-query mark/detect: -q can be repeated; all queries share the
    default u/v variable convention. *)
@@ -332,8 +359,9 @@ let parse_queries ~queries ~params ~results =
   List.map (fun query -> parse_query ~query ~params ~results) queries
 
 let multi_mark_cmd =
-  let run file queries params results rho epsilon seed message bits out =
+  let run file queries params results rho epsilon seed jobs message bits out =
     handle @@ fun () ->
+    set_jobs jobs;
     let ws = Textio.load file in
     let qs = parse_queries ~queries ~params ~results in
     let options = { Local_scheme.seed; rho; epsilon; selection = `Greedy } in
@@ -357,11 +385,13 @@ let multi_mark_cmd =
        ~doc:"Embed a message while preserving several queries at once.")
     Term.(
       const run $ file $ queries_term $ params_term $ results_term $ rho_term
-      $ epsilon_term $ seed_term $ message_term $ bits_term $ out_term)
+      $ epsilon_term $ seed_term $ jobs_term $ message_term $ bits_term
+      $ out_term)
 
 let multi_detect_cmd =
-  let run original suspect queries params results rho epsilon seed bits =
+  let run original suspect queries params results rho epsilon seed jobs bits =
     handle @@ fun () ->
+    set_jobs jobs;
     let ws = Textio.load original in
     let sus = Textio.load suspect in
     let qs = parse_queries ~queries ~params ~results in
@@ -383,7 +413,8 @@ let multi_detect_cmd =
        ~doc:"Read a multi-query mark back from a suspect copy.")
     Term.(
       const run $ original $ suspect $ queries_term $ params_term
-      $ results_term $ rho_term $ epsilon_term $ seed_term $ bits_term)
+      $ results_term $ rho_term $ epsilon_term $ seed_term $ jobs_term
+      $ bits_term)
 
 (* vc *)
 

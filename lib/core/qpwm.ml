@@ -2,7 +2,10 @@
 
     One [open Qpwm] (or qualified access) reaches the whole system:
 
-    - {!Prng}, {!Bitvec}, {!Codec}, {!Stats}, {!Texttab}: utilities;
+    - {!Prng}, {!Bitvec}, {!Codec}, {!Stats}, {!Texttab}, {!Json}:
+      utilities;
+    - {!Par}: the multicore execution engine (domain pool, deterministic
+      parallel combinators, [WMARK_JOBS] / [--jobs] control);
     - {!Tuple}, {!Schema}, {!Relation}, {!Structure}, {!Weighted},
       {!Gaifman}, {!Iso}, {!Neighborhood}: relational substrate;
     - {!Fo}, {!Mso}, {!Eval}, {!Query}, {!Locality}, {!Parser}: logic;
@@ -23,6 +26,10 @@ module Bitvec = Wm_util.Bitvec
 module Codec = Wm_util.Codec
 module Stats = Wm_util.Stats
 module Texttab = Wm_util.Texttab
+module Json = Wm_util.Json
+
+(* multicore execution engine *)
+module Par = Wm_par.Pool
 
 (* relational substrate *)
 module Tuple = Wm_relational.Tuple

@@ -1,0 +1,211 @@
+(* A fixed-size domain pool behind deterministic combinators.
+
+   Determinism is structural, not scheduled: every combinator writes each
+   output slot exactly where the sequential loop would, and any
+   cross-slot combination happens sequentially in index order after the
+   parallel phase.  The job count therefore only decides how the index
+   range is chunked over domains, never what is computed. *)
+
+(* ------------------------------------------------------------------ *)
+(* Job-count resolution: ?jobs argument > set_jobs > WMARK_JOBS > hw. *)
+
+let override : int option Atomic.t = Atomic.make None
+
+let default_jobs () =
+  match Sys.getenv_opt "WMARK_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let set_jobs = function
+  | None -> Atomic.set override None
+  | Some j -> Atomic.set override (Some (max 1 j))
+
+let jobs () =
+  match Atomic.get override with Some j -> j | None -> default_jobs ()
+
+(* ------------------------------------------------------------------ *)
+(* The pool: worker domains blocked on one shared queue.  Spawned once,
+   at the first parallel call; sized then so later calls asking for more
+   jobs than the machine advertises (the E20 sweep on a small box) still
+   get dedicated runners. *)
+
+type task = unit -> unit
+
+type pool = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  queue : task Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+  runners : int;  (* worker domains + the calling domain *)
+}
+
+let rec worker_loop p =
+  Mutex.lock p.m;
+  while Queue.is_empty p.queue && not p.stop do
+    Condition.wait p.nonempty p.m
+  done;
+  if Queue.is_empty p.queue then Mutex.unlock p.m (* stop, queue drained *)
+  else begin
+    let t = Queue.pop p.queue in
+    Mutex.unlock p.m;
+    t ();
+    worker_loop p
+  end
+
+let try_pop p =
+  Mutex.lock p.m;
+  let r = if Queue.is_empty p.queue then None else Some (Queue.pop p.queue) in
+  Mutex.unlock p.m;
+  r
+
+let shutdown p =
+  Mutex.lock p.m;
+  p.stop <- true;
+  Condition.broadcast p.nonempty;
+  Mutex.unlock p.m;
+  List.iter Domain.join p.domains;
+  p.domains <- []
+
+let the_pool : pool option ref = ref None
+let spawn_mutex = Mutex.create ()
+
+let get_pool () =
+  Mutex.lock spawn_mutex;
+  let p =
+    match !the_pool with
+    | Some p -> p
+    | None ->
+        let runners = max 4 (jobs ()) in
+        let p =
+          {
+            m = Mutex.create ();
+            nonempty = Condition.create ();
+            queue = Queue.create ();
+            stop = false;
+            domains = [];
+            runners;
+          }
+        in
+        p.domains <-
+          List.init (runners - 1) (fun _ -> Domain.spawn (fun () -> worker_loop p));
+        at_exit (fun () -> shutdown p);
+        the_pool := Some p;
+        p
+  in
+  Mutex.unlock spawn_mutex;
+  p
+
+let pool_size () = match !the_pool with Some p -> p.runners | None -> 1
+
+(* ------------------------------------------------------------------ *)
+(* Batches: enqueue wrapped tasks, help while waiting, re-raise the
+   first failure once everything has drained.  Tasks swallow their own
+   exceptions into the batch record, so a raising task can never take a
+   worker down or leave the queue wedged. *)
+
+type batch = {
+  bm : Mutex.t;
+  bdone : Condition.t;
+  mutable remaining : int;
+  mutable first_exn : (exn * Printexc.raw_backtrace) option;
+}
+
+let run_tasks p (tasks : task array) =
+  let b =
+    {
+      bm = Mutex.create ();
+      bdone = Condition.create ();
+      remaining = Array.length tasks;
+      first_exn = None;
+    }
+  in
+  let wrap t () =
+    let failure =
+      try
+        t ();
+        None
+      with e -> Some (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock b.bm;
+    (match (failure, b.first_exn) with
+    | Some f, None -> b.first_exn <- Some f
+    | _ -> ());
+    b.remaining <- b.remaining - 1;
+    if b.remaining = 0 then Condition.broadcast b.bdone;
+    Mutex.unlock b.bm
+  in
+  Mutex.lock p.m;
+  Array.iter (fun t -> Queue.push (wrap t) p.queue) tasks;
+  Condition.broadcast p.nonempty;
+  Mutex.unlock p.m;
+  (* Help: the caller is a runner too.  It may execute tasks of other
+     in-flight batches (nested sections); wrapped tasks never raise, so
+     helping is exception-free. *)
+  let rec help () =
+    match try_pop p with
+    | Some t ->
+        t ();
+        help ()
+    | None -> ()
+  in
+  help ();
+  Mutex.lock b.bm;
+  while b.remaining > 0 do
+    Condition.wait b.bdone b.bm
+  done;
+  Mutex.unlock b.bm;
+  match b.first_exn with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+(* [run_indices j body n]: body i for every i in [0, n), chunked over up
+   to [j] runners.  Chunks are contiguous index ranges, so each slot is
+   written exactly once, by exactly one task. *)
+let run_indices j body n =
+  if j <= 1 || n <= 1 then
+    for i = 0 to n - 1 do
+      body i
+    done
+  else begin
+    let p = get_pool () in
+    let j = min j p.runners in
+    let nchunks = max 1 (min n (j * 8)) in
+    let tasks =
+      Array.init nchunks (fun c ->
+          let lo = c * n / nchunks and hi = ((c + 1) * n / nchunks) - 1 in
+          fun () ->
+            for i = lo to hi do
+              body i
+            done)
+    in
+    run_tasks p tasks
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Combinators *)
+
+let resolve = function Some j -> max 1 j | None -> jobs ()
+
+let parallel_mapi ?jobs f a =
+  let j = resolve jobs in
+  let n = Array.length a in
+  if j <= 1 || n <= 1 then Array.mapi f a
+  else begin
+    let out = Array.make n None in
+    run_indices j (fun i -> out.(i) <- Some (f i a.(i))) n;
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let parallel_map ?jobs f a = parallel_mapi ?jobs (fun _ x -> f x) a
+
+let parallel_reduce ?jobs ~map ~combine ~init a =
+  (* map in parallel, fold sequentially in index order: bit-identical to
+     [Array.fold_left (fun acc x -> combine acc (map x)) init a] without
+     requiring [combine] to be associative. *)
+  Array.fold_left combine init (parallel_map ?jobs map a)
+
+let map_list ?jobs f l = Array.to_list (parallel_map ?jobs f (Array.of_list l))

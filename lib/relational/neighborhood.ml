@@ -35,49 +35,123 @@ let all_tuples g ~arity =
   in
   List.map Tuple.of_list (go arity [ [] ])
 
-let index g ~rho tuples =
+(* Cheap isomorphism invariants of a neighborhood, used to pre-bucket
+   before the refinement certificate and the exact in-bucket search:
+   universe size, tuple count, the degree multiset of the sphere's
+   Gaifman graph, and the equality pattern of the center (all preserved
+   by any isomorphism that maps i-th distinguished to i-th).  Buckets
+   get finer, so the quadratic all-pairs search inside each bucket runs
+   on far fewer candidates. *)
+let cheap_invariants nb =
+  let gf = Gaifman.of_structure nb.sub in
+  let degrees =
+    List.sort compare
+      (List.map (Gaifman.degree gf) (Structure.universe nb.sub))
+  in
+  Hashtbl.hash
+    (Structure.size nb.sub, Structure.tuples_count nb.sub, degrees, nb.center)
+
+let distinct_tuples tuples =
+  (* first-occurrence order, which fixes the type-id numbering *)
+  let seen = ref Tuple.Set.empty in
+  List.filter
+    (fun c ->
+      if Tuple.Set.mem c !seen then false
+      else begin
+        seen := Tuple.Set.add c !seen;
+        true
+      end)
+    tuples
+
+let index ?jobs g ~rho tuples =
   let gf = Gaifman.of_structure g in
-  (* Buckets keyed by certificate; each bucket holds a list of
-     (type id, representative neighborhood, representative tuple). *)
-  let buckets : (int, (int * nbh) list ref) Hashtbl.t = Hashtbl.create 64 in
-  let reps = ref [] in
-  let next_ty = ref 0 in
-  let types =
-    List.fold_left
-      (fun acc c ->
-        if Tuple.Map.mem c acc then acc
-        else
-          let nb = of_tuple g gf ~rho c in
-          let cert = Iso.certificate nb.sub nb.center in
-          let bucket =
-            match Hashtbl.find_opt buckets cert with
-            | Some b -> b
-            | None ->
-                let b = ref [] in
-                Hashtbl.add buckets cert b;
-                b
-          in
-          let ty =
+  let tups = Array.of_list (distinct_tuples tuples) in
+  let n = Array.length tups in
+  (* Phase 1 (parallel): materialize every neighborhood and its
+     invariants.  Each tuple is independent work over the shared
+     immutable structure. *)
+  let keyed =
+    Wm_par.Pool.parallel_map ?jobs
+      (fun c ->
+        let nb = of_tuple g gf ~rho c in
+        (nb, cheap_invariants nb, Iso.certificate nb.sub nb.center))
+      tups
+  in
+  (* Phase 2 (sequential, cheap): group slots into buckets keyed by
+     (cheap invariants, certificate), keeping first-seen order both of
+     buckets and within each bucket. *)
+  let btbl : (int * int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let border = ref [] in
+  Array.iteri
+    (fun i (_, ck, cert) ->
+      match Hashtbl.find_opt btbl (ck, cert) with
+      | Some slots -> slots := i :: !slots
+      | None ->
+          Hashtbl.add btbl (ck, cert) (ref [ i ]);
+          border := (ck, cert) :: !border)
+    keyed;
+  let buckets =
+    Array.of_list
+      (List.rev_map
+         (fun k -> Array.of_list (List.rev !(Hashtbl.find btbl k)))
+         !border)
+  in
+  (* Phase 3 (parallel): exact classification inside each bucket.
+     Buckets are independent; within one bucket the search is the
+     sequential scan against the bucket's representatives.  For each
+     slot we record its leader: the slot of the first bucket member it
+     is isomorphic to.  Representatives of one bucket are pairwise
+     non-isomorphic, so a member matches at most one of them and the
+     leader is well defined regardless of search order. *)
+  let leader = Array.make n (-1) in
+  let classified =
+    Wm_par.Pool.parallel_map ?jobs
+      (fun slots ->
+        let reps = ref [] in
+        Array.map
+          (fun i ->
+            let nb, _, _ = keyed.(i) in
             match
               List.find_opt
                 (fun (_, rep) ->
                   Iso.isomorphic nb.sub nb.center rep.sub rep.center)
-                !bucket
+                !reps
             with
-            | Some (ty, _) -> ty
+            | Some (l, _) -> l
             | None ->
-                let ty = !next_ty in
-                incr next_ty;
-                bucket := (ty, nb) :: !bucket;
-                reps := c :: !reps;
-                ty
-          in
-          Tuple.Map.add c ty acc)
-      Tuple.Map.empty tuples
+                reps := (i, nb) :: !reps;
+                i)
+          slots)
+      buckets
   in
-  { rho; types; representatives = Array.of_list (List.rev !reps) }
+  Array.iteri
+    (fun b slots ->
+      Array.iteri (fun k i -> leader.(i) <- classified.(b).(k)) slots)
+    buckets;
+  (* Phase 4 (sequential): number the classes by first occurrence, which
+     reproduces the type ids of the plain sequential fold exactly. *)
+  let ty_of_leader = Hashtbl.create 64 in
+  let reps = ref [] in
+  let next_ty = ref 0 in
+  let types = ref Tuple.Map.empty in
+  Array.iteri
+    (fun i c ->
+      let l = leader.(i) in
+      let ty =
+        match Hashtbl.find_opt ty_of_leader l with
+        | Some ty -> ty
+        | None ->
+            let ty = !next_ty in
+            incr next_ty;
+            Hashtbl.add ty_of_leader l ty;
+            reps := tups.(l) :: !reps;
+            ty
+      in
+      types := Tuple.Map.add c ty !types)
+    tups;
+  { rho; types = !types; representatives = Array.of_list (List.rev !reps) }
 
-let index_universe g ~rho ~arity = index g ~rho (all_tuples g ~arity)
+let index_universe ?jobs g ~rho ~arity = index ?jobs g ~rho (all_tuples g ~arity)
 
 let ntp ix = Array.length ix.representatives
 

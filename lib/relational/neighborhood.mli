@@ -28,11 +28,16 @@ type index = {
     [0 .. ntp-1] and [representatives] realizes the paper's canonical
     parameter set S. *)
 
-val index : Structure.t -> rho:int -> Tuple.t list -> index
-(** Types every listed tuple, bucketing by {!Iso.certificate} and verifying
-    with exact isomorphism inside buckets. *)
+val index : ?jobs:int -> Structure.t -> rho:int -> Tuple.t list -> index
+(** Types every listed tuple: pre-buckets by cheap invariants (sphere
+    size, tuple count, degree multiset, center pattern) and by
+    {!Iso.certificate}, then verifies with exact isomorphism inside each
+    bucket.  Sphere extraction and in-bucket classification run on the
+    {!Wm_par.Pool} when [jobs] (default {!Wm_par.Pool.jobs}) exceeds 1;
+    the result — type ids included — is bit-identical to the sequential
+    [jobs:1] fold for every job count. *)
 
-val index_universe : Structure.t -> rho:int -> arity:int -> index
+val index_universe : ?jobs:int -> Structure.t -> rho:int -> arity:int -> index
 (** Types all of U^arity. *)
 
 val ntp : index -> int

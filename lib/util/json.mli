@@ -1,0 +1,22 @@
+(** Minimal JSON emission (no parsing, no dependencies).
+
+    The bench harness and the CLI export machine-readable results —
+    the perf trajectory in [BENCH_PR2.json], attack grids behind
+    [wmark attack --json] — without pulling a JSON library into the
+    dependency cone.  Output is UTF-8, RFC 8259: strings are escaped,
+    non-finite floats degrade to [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize; [pretty] (default [true]) indents with two spaces. *)
+
+val to_file : string -> t -> unit
+(** Write [to_string] plus a trailing newline to a file. *)

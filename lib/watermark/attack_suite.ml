@@ -49,13 +49,16 @@ let default_grid ~active =
 let cell_prng ~seed ~redundancy ~index =
   Prng.create ((seed * 1_000_003) + (redundancy * 1009) + index)
 
-let run ?(options = Local_scheme.default_options) ?(seed = 0xA77AC)
+let run ?jobs ?(options = Local_scheme.default_options) ?(seed = 0xA77AC)
     ?(redundancies = [ 1; 3; 5 ]) ?(message_bits = 4) ?grid ?workload
     (ws : Weighted.structure) q =
   match Local_scheme.prepare ~options ws q with
   | Error e -> Error ("attack suite: " ^ e)
   | Ok scheme ->
       let qs = Local_scheme.query_system scheme in
+      (* Freeze the query system's memos: grid cells share it read-only
+         across domains. *)
+      Query_system.precompute qs;
       let active = Query_system.active qs in
       let nactive = List.length active in
       let grid = match grid with Some g -> g | None -> default_grid ~active:nactive in
@@ -70,56 +73,61 @@ let run ?(options = Local_scheme.default_options) ?(seed = 0xA77AC)
               redundancy"
              capacity message_bits)
       else begin
-        let rows = ref [] in
-        List.iter
-          (fun times ->
-            let marked = Robust.mark base ~times message ws.Weighted.weights in
-            let marked_ws = { ws with Weighted.weights = marked } in
-            List.iteri
-              (fun index spec ->
-                let g = cell_prng ~seed ~redundancy:times ~index in
-                let suspect_ws, distortion =
-                  match spec with
-                  | Weights a ->
-                      let attacked = Adversary.apply g a ~active marked in
-                      ( { ws with Weighted.weights = attacked },
-                        Some (Distortion.global qs marked attacked) )
-                  | Structural a ->
-                      (Adversary.apply_structural g a marked_ws, None)
-                in
-                let rv, _alignment =
-                  Survivable.detect_structure scheme ~times
-                    ~length:message_bits ~original:ws ~suspect:suspect_ws
-                in
-                let carriers = times * message_bits in
-                let erased = rv.Survivable.carriers.Detector.erased in
-                let bit_errors = Codec.hamming message rv.Survivable.message in
-                let naive =
-                  Robust.detect base ~times ~length:message_bits
-                    ~original:ws.Weighted.weights
-                    ~server:
-                      (Query_system.server qs suspect_ws.Weighted.weights)
-                in
-                rows :=
-                  {
-                    attack = describe_spec spec;
-                    redundancy = times;
-                    bits = message_bits;
-                    carriers;
-                    erased;
-                    erasure_rate =
-                      float_of_int erased /. float_of_int (max 1 carriers);
-                    bit_errors;
-                    ber =
-                      float_of_int bit_errors /. float_of_int message_bits;
-                    pvalue = Survivable.match_pvalue ~expected:message rv;
-                    distortion;
-                    recovered = Bitvec.equal message rv.Survivable.message;
-                    naive_recovered = Bitvec.equal message naive;
-                  }
-                  :: !rows)
-              grid)
-          usable;
+        (* One grid cell = one task.  Marking is done once per redundancy
+           (sequentially — it is cheap and shared), the cells carry their
+           own PRNG seeded by grid position, so the row list is identical
+           to the sequential sweep for every job count. *)
+        let cells =
+          List.concat_map
+            (fun times ->
+              let marked = Robust.mark base ~times message ws.Weighted.weights in
+              let marked_ws = { ws with Weighted.weights = marked } in
+              List.mapi
+                (fun index spec -> (times, marked, marked_ws, index, spec))
+                grid)
+            usable
+        in
+        let run_cell (times, marked, marked_ws, index, spec) =
+          let g = cell_prng ~seed ~redundancy:times ~index in
+          let suspect_ws, distortion =
+            match spec with
+            | Weights a ->
+                let attacked = Adversary.apply g a ~active marked in
+                ( { ws with Weighted.weights = attacked },
+                  Some (Distortion.global qs marked attacked) )
+            | Structural a ->
+                (Adversary.apply_structural g a marked_ws, None)
+          in
+          let rv, _alignment =
+            (* jobs:1 — the cell is already one parallel task; nesting
+               pool batches inside a cell would only add queue churn *)
+            Survivable.detect_structure ~jobs:1 scheme ~times
+              ~length:message_bits ~original:ws ~suspect:suspect_ws
+          in
+          let carriers = times * message_bits in
+          let erased = rv.Survivable.carriers.Detector.erased in
+          let bit_errors = Codec.hamming message rv.Survivable.message in
+          let naive =
+            Robust.detect base ~times ~length:message_bits
+              ~original:ws.Weighted.weights
+              ~server:(Query_system.server qs suspect_ws.Weighted.weights)
+          in
+          {
+            attack = describe_spec spec;
+            redundancy = times;
+            bits = message_bits;
+            carriers;
+            erased;
+            erasure_rate = float_of_int erased /. float_of_int (max 1 carriers);
+            bit_errors;
+            ber = float_of_int bit_errors /. float_of_int message_bits;
+            pvalue = Survivable.match_pvalue ~expected:message rv;
+            distortion;
+            recovered = Bitvec.equal message rv.Survivable.message;
+            naive_recovered = Bitvec.equal message naive;
+          }
+        in
+        let rows = Wm_par.Pool.map_list ?jobs run_cell cells in
         Ok
           {
             workload =
@@ -129,7 +137,7 @@ let run ?(options = Local_scheme.default_options) ?(seed = 0xA77AC)
             message;
             capacity;
             active = nactive;
-            rows = List.rev !rows;
+            rows;
           }
       end
 
@@ -150,6 +158,37 @@ let to_csv r =
            o.recovered o.naive_recovered))
     r.rows;
   Buffer.contents buf
+
+let outcome_to_json o =
+  Wm_util.Json.(
+    Obj
+      [
+        ("attack", String o.attack);
+        ("redundancy", Int o.redundancy);
+        ("bits", Int o.bits);
+        ("carriers", Int o.carriers);
+        ("erased", Int o.erased);
+        ("erasure_rate", Float o.erasure_rate);
+        ("bit_errors", Int o.bit_errors);
+        ("ber", Float o.ber);
+        ("pvalue", Float o.pvalue);
+        ( "distortion",
+          match o.distortion with Some d -> Int d | None -> Null );
+        ("recovered", Bool o.recovered);
+        ("naive_recovered", Bool o.naive_recovered);
+      ])
+
+let to_json r =
+  Wm_util.Json.(
+    Obj
+      [
+        ("workload", String r.workload);
+        ("message", Int (Codec.to_int r.message));
+        ("message_bits", Int (Bitvec.length r.message));
+        ("capacity", Int r.capacity);
+        ("active", Int r.active);
+        ("rows", List (List.map outcome_to_json r.rows));
+      ])
 
 let render r =
   let t =

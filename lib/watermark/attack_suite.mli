@@ -47,6 +47,7 @@ val default_grid : active:int -> spec list
     plus a zero-delta offset as the no-attack baseline row. *)
 
 val run :
+  ?jobs:int ->
   ?options:Local_scheme.options ->
   ?seed:int ->
   ?redundancies:int list ->
@@ -56,13 +57,19 @@ val run :
   Weighted.structure ->
   Query.t ->
   (report, string) result
-(** Prepare the Theorem 3 scheme once, then sweep.  Redundancies that do
-    not fit the capacity are skipped; [Error _] when none fits or the
-    scheme cannot be prepared. *)
+(** Prepare the Theorem 3 scheme once, then sweep — one grid cell per
+    {!Wm_par.Pool} task when [jobs] (default {!Wm_par.Pool.jobs})
+    exceeds 1.  Every cell owns a PRNG derived from (seed, redundancy,
+    grid position), so the report is bit-identical for every job count.
+    Redundancies that do not fit the capacity are skipped; [Error _]
+    when none fits or the scheme cannot be prepared. *)
 
 val to_csv : report -> string
 (** Machine-readable form, one line per cell, RFC-4180-quoted attack
     labels. *)
+
+val to_json : report -> Wm_util.Json.t
+(** The report as JSON ([wmark attack --json], the bench trajectory). *)
 
 val render : report -> string
 (** Human-readable table. *)

@@ -8,34 +8,53 @@ type verdict = {
   confidence : float;
 }
 
-let read pairs ~original ~observed ~length =
+(* What one carrier contributes, computed independently per pair — the
+   unit of work the domain pool parallelizes. *)
+type carrier = Erased | Cell of bool * [ `Strong | `Weak | `Silent ]
+
+let classify_carrier ~original ~observed { Pairing.fst; snd } =
+  let seen t = Tuple.Map.mem t observed in
+  if (not (seen fst)) && not (seen snd) then Erased
+  else begin
+    let delta t =
+      match Tuple.Map.find_opt t observed with
+      | Some v -> v - Weighted.get original t
+      | None -> 0
+    in
+    let d = delta fst - delta snd in
+    Cell
+      ( d > 0,
+        if d = 2 || d = -2 then `Strong else if d <> 0 then `Weak else `Silent
+      )
+  end
+
+let read ?jobs pairs ~original ~observed ~length =
   if length > List.length pairs then
     invalid_arg "Detector.read: length exceeds pair count";
+  let carriers =
+    (* parallel phase: each carrier is classified on its own; the
+       sequential accumulation below is in index order, so the verdict
+       is bit-identical to the jobs=1 loop *)
+    Wm_par.Pool.parallel_map ?jobs
+      (classify_carrier ~original ~observed)
+      (Array.of_list (List.filteri (fun i _ -> i < length) pairs))
+  in
   let decoded = Bitvec.create length in
   let erasure = Bitvec.create length in
   let strong = ref 0 and weak = ref 0 and silent = ref 0 and erased = ref 0 in
-  List.iteri
-    (fun i { Pairing.fst; snd } ->
-      if i < length then begin
-        let seen t = Tuple.Map.mem t observed in
-        if (not (seen fst)) && not (seen snd) then begin
+  Array.iteri
+    (fun i c ->
+      match c with
+      | Erased ->
           Bitvec.set erasure i true;
           incr erased
-        end
-        else begin
-          let delta t =
-            match Tuple.Map.find_opt t observed with
-            | Some v -> v - Weighted.get original t
-            | None -> 0
-          in
-          let d = delta fst - delta snd in
-          Bitvec.set decoded i (d > 0);
-          if d = 2 || d = -2 then incr strong
-          else if d <> 0 then incr weak
-          else incr silent
-        end
-      end)
-    pairs;
+      | Cell (bit, kind) -> (
+          Bitvec.set decoded i bit;
+          match kind with
+          | `Strong -> incr strong
+          | `Weak -> incr weak
+          | `Silent -> incr silent))
+    carriers;
   let read_count = length - !erased in
   {
     decoded;
@@ -49,7 +68,7 @@ let read pairs ~original ~observed ~length =
        else float_of_int (!strong + !weak) /. float_of_int read_count);
   }
 
-let read_weights pairs ~original ~suspect ~length =
+let read_weights ?jobs pairs ~original ~suspect ~length =
   let observed =
     List.fold_left
       (fun acc { Pairing.fst; snd } ->
@@ -57,7 +76,7 @@ let read_weights pairs ~original ~suspect ~length =
           (Tuple.Map.add snd (Weighted.get suspect snd) acc))
       Tuple.Map.empty pairs
   in
-  read pairs ~original ~observed ~length
+  read ?jobs pairs ~original ~observed ~length
 
 (* log C(n,k) via lgamma-free accumulation to stay in float range. *)
 let log_choose n k =

@@ -33,15 +33,18 @@ type verdict = {
 }
 
 val read :
-  Pairing.pair list -> original:Weighted.t -> observed:int Tuple.Map.t ->
-  length:int -> verdict
+  ?jobs:int -> Pairing.pair list -> original:Weighted.t ->
+  observed:int Tuple.Map.t -> length:int -> verdict
 (** Decode [length] bits from the pair list, classifying each carrier.
     A pair with {e no} observed endpoint is an erasure; a pair with one
-    observed endpoint still votes by the sign of the surviving half. *)
+    observed endpoint still votes by the sign of the surviving half.
+    Carriers are independent, so classification runs on the
+    {!Wm_par.Pool} when [jobs] (default {!Wm_par.Pool.jobs}) exceeds 1;
+    the verdict is bit-identical for every job count. *)
 
 val read_weights :
-  Pairing.pair list -> original:Weighted.t -> suspect:Weighted.t ->
-  length:int -> verdict
+  ?jobs:int -> Pairing.pair list -> original:Weighted.t ->
+  suspect:Weighted.t -> length:int -> verdict
 (** Total-observation convenience: every endpoint is read from [suspect],
     so no carrier is erased. *)
 

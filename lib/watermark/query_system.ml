@@ -52,6 +52,13 @@ let active_set t =
 
 let active t = Tuple.Set.elements (active_set t)
 
+let precompute t =
+  (* Force every param's result set into the cache and materialize the
+     active set.  After this, [result_set]/[f]/[server] only read, so a
+     query system can be shared by several domains — the cache and the
+     [active] field are the only mutable state in the value. *)
+  ignore (active_set t)
+
 let f t w a =
   Tuple.Set.fold (fun b acc -> acc + Weighted.get w b) (result_set t a) 0
 

@@ -37,6 +37,13 @@ val active : t -> Tuple.t list
 
 val active_set : t -> Tuple.Set.t
 
+val precompute : t -> unit
+(** Force every memo (all result sets, the active set) eagerly.  A query
+    system is mutable only through these memos; once precomputed it is
+    read-only and safe to share across {!Wm_par.Pool} domains.  Parallel
+    call sites ({!Wm_watermark.Attack_suite.run}) call this before
+    fanning out. *)
+
 val f : t -> Weighted.t -> Tuple.t -> int
 (** f_(G,W)(a) = sum of weights over W_a. *)
 

@@ -23,7 +23,7 @@ let name_index g =
   in
   Smap.filter (fun n _ -> not (Smap.mem n dup)) index
 
-let align_structures ?tuples ~(original : Weighted.structure)
+let align_structures ?jobs ?tuples ~(original : Weighted.structure)
     ~(suspect : Weighted.structure) () =
   let tuples =
     match tuples with
@@ -41,16 +41,20 @@ let align_structures ?tuples ~(original : Weighted.structure)
         | Some y -> out.(i) <- y
         | None -> ok := false)
       t;
-    if !ok then Some out else None
+    if !ok then Some (Weighted.get suspect.Weighted.weights out) else None
+  in
+  (* each carrier endpoint is located independently (parallel phase);
+     the alignment map is then folded sequentially in input order *)
+  let located =
+    Wm_par.Pool.map_list ?jobs (fun t -> (t, locate t)) tuples
   in
   let observed, matched, missing =
     List.fold_left
-      (fun (obs, m, s) t ->
-        match locate t with
-        | Some t' ->
-            (Tuple.Map.add t (Weighted.get suspect.Weighted.weights t') obs, m + 1, s)
+      (fun (obs, m, s) (t, hit) ->
+        match hit with
+        | Some v -> (Tuple.Map.add t v obs, m + 1, s)
         | None -> (obs, m, s + 1))
-      (Tuple.Map.empty, 0, 0) tuples
+      (Tuple.Map.empty, 0, 0) located
   in
   { observed; total = matched + missing; matched; missing }
 
@@ -126,8 +130,8 @@ let align_trees ~original ~suspect =
 
 (* --- degraded-mode reading ------------------------------------------- *)
 
-let read pairs ~original alignment ~length =
-  Detector.read pairs ~original ~observed:alignment.observed ~length
+let read ?jobs pairs ~original alignment ~length =
+  Detector.read ?jobs pairs ~original ~observed:alignment.observed ~length
 
 type robust_verdict = {
   message : Bitvec.t;
@@ -136,8 +140,8 @@ type robust_verdict = {
   erased_bits : int;
 }
 
-let detect_robust ~pairs ~times ~length ~original alignment =
-  let carriers = read pairs ~original alignment ~length:(times * length) in
+let detect_robust ?jobs ~pairs ~times ~length ~original alignment =
+  let carriers = read ?jobs pairs ~original alignment ~length:(times * length) in
   let message = Bitvec.create length in
   let erased_bits = ref 0 in
   for i = 0 to length - 1 do
@@ -159,22 +163,22 @@ let match_pvalue ~expected rv =
     ~expected:(Codec.repeat ~times:rv.times expected)
     rv.carriers
 
-let detect_structure scheme ~times ~length ~(original : Weighted.structure)
-    ~(suspect : Weighted.structure) =
+let detect_structure ?jobs scheme ~times ~length
+    ~(original : Weighted.structure) ~(suspect : Weighted.structure) =
   let pairs = Local_scheme.pairs scheme in
   let endpoints =
     List.concat_map (fun { Pairing.fst; snd } -> [ fst; snd ]) pairs
   in
   let alignment =
-    align_structures ~tuples:endpoints ~original ~suspect ()
+    align_structures ?jobs ~tuples:endpoints ~original ~suspect ()
   in
-  ( detect_robust ~pairs ~times ~length
+  ( detect_robust ?jobs ~pairs ~times ~length
       ~original:original.Weighted.weights alignment,
     alignment )
 
-let detect_tree ~pairs ~times ~length ~original ~suspect =
+let detect_tree ?jobs ~pairs ~times ~length ~original suspect =
   let alignment = align_trees ~original ~suspect in
-  ( detect_robust ~pairs ~times ~length
+  ( detect_robust ?jobs ~pairs ~times ~length
       ~original:(Wm_xml.Utree.weights original)
       alignment,
     alignment )

@@ -19,7 +19,10 @@
     ({!Detector.verdict}[.erased]), not errors: they are excluded from the
     sign statistics and from {!Detector.match_pvalue}'s trials, so
     detection confidence degrades gracefully with the attack budget
-    instead of collapsing.  This is the regime studied for locally
+    instead of collapsing.  Carrier location and classification are
+    per-carrier local, so both run on the {!Wm_par.Pool} when [?jobs]
+    (default {!Wm_par.Pool.jobs}) exceeds 1, with results bit-identical
+    to [jobs:1].  This is the regime studied for locally
     treelike databases (Chattopadhyay–Praveen, arXiv:1909.11369) and graph
     watermarking under node deletion (Eppstein et al., arXiv:1605.09425). *)
 
@@ -33,6 +36,7 @@ type alignment = {
 }
 
 val align_structures :
+  ?jobs:int ->
   ?tuples:Tuple.t list ->
   original:Weighted.structure ->
   suspect:Weighted.structure ->
@@ -51,8 +55,8 @@ val align_trees :
     exams. *)
 
 val read :
-  Pairing.pair list -> original:Weighted.t -> alignment -> length:int ->
-  Detector.verdict
+  ?jobs:int -> Pairing.pair list -> original:Weighted.t -> alignment ->
+  length:int -> Detector.verdict
 (** {!Detector.read} over the aligned observations: unmatched carriers are
     erasures, half-matched pairs vote by their surviving endpoint. *)
 
@@ -67,7 +71,7 @@ type robust_verdict = {
 }
 
 val detect_robust :
-  pairs:Pairing.pair list -> times:int -> length:int ->
+  ?jobs:int -> pairs:Pairing.pair list -> times:int -> length:int ->
   original:Weighted.t -> alignment -> robust_verdict
 (** Decode a [length]-bit message embedded with {!Robust.mark} [~times]
     from whatever carriers survived.  Erased copies abstain from the
@@ -81,14 +85,15 @@ val match_pvalue : expected:Bitvec.t -> robust_verdict -> float
 (** {1 End-to-end conveniences} *)
 
 val detect_structure :
-  Local_scheme.t -> times:int -> length:int ->
+  ?jobs:int -> Local_scheme.t -> times:int -> length:int ->
   original:Weighted.structure -> suspect:Weighted.structure ->
   robust_verdict * alignment
 (** Align (on the scheme's pair endpoints) and decode in one step. *)
 
 val detect_tree :
-  pairs:Pairing.pair list -> times:int -> length:int ->
-  original:Wm_xml.Utree.t -> suspect:Wm_xml.Utree.t ->
+  ?jobs:int -> pairs:Pairing.pair list -> times:int -> length:int ->
+  original:Wm_xml.Utree.t -> Wm_xml.Utree.t ->
   robust_verdict * alignment
-(** Same for XML documents; [pairs] come from {!Tree_scheme.pairs} (node
-    ids in the binary encoding coincide with document node ids). *)
+(** [detect_tree ~pairs ~times ~length ~original suspect] — same for XML
+    documents; [pairs] come from {!Tree_scheme.pairs} (node ids in the
+    binary encoding coincide with document node ids). *)

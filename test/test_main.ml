@@ -4,6 +4,7 @@ let () =
   Alcotest.run "qpwm"
     [
       ("util", Test_util.suite);
+      ("par", Test_par.suite);
       ("relational", Test_relational.suite);
       ("logic", Test_logic.suite);
       ("trees", Test_trees.suite);

@@ -165,7 +165,7 @@ let xml_prepared =
 let xml_detect doc xs r suspect =
   Survivable.detect_tree
     ~pairs:(Tree_scheme.pairs xs.Pipeline.scheme)
-    ~times:r ~length:bits ~original:doc ~suspect
+    ~times:r ~length:bits ~original:doc suspect
 
 let test_xml_identity_alignment () =
   let doc, _, _, marked = Lazy.force xml_prepared in
