@@ -9,6 +9,7 @@
      wmark info db.txt -q "Route(u,v)"
      wmark mark db.txt -q "Route(u,v)" --message 11 --bits 5 -o marked.txt
      wmark detect db.txt marked.txt -q "Route(u,v)" --bits 5
+     wmark update db.txt --edits script.txt -q "Route(u,v)" -o edited.txt
      wmark perturb marked.txt -q "Route(u,v)" --kind flips --count 5 -o att.txt
      wmark perturb marked.txt -q "Route(u,v)" --kind delete --fraction 0.2 -o att.txt
      wmark attack db.txt -q "Route(u,v)" --bits 4 --redundancy 5 --csv grid.csv
@@ -58,7 +59,11 @@ let jobs_term =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
-let set_jobs = function Some _ as j -> Par.set_jobs j | None -> ()
+let set_jobs = function
+  | Some j when j < 1 ->
+      failwith (Printf.sprintf "--jobs %d: must be a positive worker count" j)
+  | Some _ as j -> Par.set_jobs j
+  | None -> ()
 
 let out_term =
   let doc = "Output file." in
@@ -193,6 +198,91 @@ let detect_cmd =
     Term.(
       const run $ original $ suspect $ query_term $ params_term $ results_term
       $ rho_term $ epsilon_term $ seed_term $ jobs_term $ bits_term)
+
+(* update — apply an edit script, reindex incrementally, report the
+   Theorem 7/8 keep-vs-remark decision *)
+
+let update_cmd =
+  let run file edits_path query params results rho epsilon seed jobs out =
+    handle @@ fun () ->
+    set_jobs jobs;
+    let ws, q, scheme =
+      prepare_scheme file ~query ~params ~results ~rho ~epsilon ~seed
+    in
+    let edits =
+      let ic = open_in edits_path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          Textio.edits_of_string
+            (really_input_string ic (in_channel_length ic)))
+    in
+    let edited, dirty = Structure.apply_edits ws.Weighted.graph edits in
+    let n' = Structure.size edited in
+    (* weights of removed elements disappear with them *)
+    let weights' =
+      List.fold_left
+        (fun w (t, v) ->
+          if Array.for_all (fun x -> x >= 0 && x < n') t then Weighted.set w t v
+          else w)
+        (Weighted.create
+           ~default:(Weighted.default ws.Weighted.weights)
+           (Weighted.arity ws.Weighted.weights))
+        (Weighted.bindings ws.Weighted.weights)
+    in
+    let ws' = Weighted.make edited weights' in
+    match Local_scheme.update scheme ~old:ws ws' q ~dirty with
+    | Error e -> failwith ("update: " ^ e)
+    | Ok scheme' ->
+        let r = Local_scheme.report scheme in
+        let r' = Local_scheme.report scheme' in
+        let decision =
+          Incremental.update_decision_ix ~old_graph:ws.Weighted.graph
+            ~old_index:(Local_scheme.index scheme) ~new_graph:edited
+            ~new_index:(Local_scheme.index scheme')
+        in
+        Printf.printf "edits          : %d (%d dirty elements)\n"
+          (List.length edits) (List.length dirty);
+        Printf.printf "universe       : %d -> %d elements\n"
+          (Structure.size ws.Weighted.graph)
+          n';
+        Printf.printf "types (ntp)    : %d -> %d\n" r.Local_scheme.ntp
+          r'.Local_scheme.ntp;
+        Printf.printf "capacity       : %d -> %d bits\n"
+          (Local_scheme.capacity scheme)
+          (Local_scheme.capacity scheme');
+        Printf.printf "decision       : %s\n"
+          (match decision with
+          | `Keep_mark ->
+              "keep mark (type-preserving update, Theorem 7: marks propagate)"
+          | `Remark_required ->
+              "re-mark required (a neighborhood type appeared or vanished, \
+               Theorem 8)");
+        match out with
+        | None -> ()
+        | Some o ->
+            Textio.save o ws';
+            Printf.printf "wrote %s\n" o
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let edits =
+    let doc = "Edit script (see the Textio edit-script format)." in
+    Arg.(required & opt (some file) None & info [ "edits" ] ~docv:"SCRIPT" ~doc)
+  in
+  let out =
+    let doc = "Write the edited weighted structure to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:
+         "Apply an edit script to a prepared instance, maintain the \
+          neighborhood index incrementally (Gaifman locality), and report \
+          whether the mark survives (Theorem 7) or a re-mark is needed \
+          (Theorem 8).")
+    Term.(
+      const run $ file $ edits $ query_term $ params_term $ results_term
+      $ rho_term $ epsilon_term $ seed_term $ jobs_term $ out)
 
 (* capacity *)
 
@@ -558,8 +648,8 @@ let main =
   Cmd.group
     (Cmd.info "wmark" ~version:"1.0.0" ~doc)
     [
-      info_cmd; mark_cmd; detect_cmd; multi_mark_cmd; multi_detect_cmd;
-      capacity_cmd; vc_cmd; perturb_cmd; attack_cmd; gen_travel_cmd;
+      info_cmd; mark_cmd; detect_cmd; update_cmd; multi_mark_cmd;
+      multi_detect_cmd; capacity_cmd; vc_cmd; perturb_cmd; attack_cmd; gen_travel_cmd;
       gen_school_cmd; gen_biblio_cmd; xml_mark_cmd; xml_detect_cmd;
     ]
 

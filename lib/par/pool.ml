@@ -11,12 +11,27 @@
 
 let override : int option Atomic.t = Atomic.make None
 
-let default_jobs () =
+(* Parsed once at module initialization (single-threaded), so a mis-set
+   CI environment gets exactly one warning instead of silence — or one
+   warning per [jobs ()] call. *)
+let env_jobs =
   match Sys.getenv_opt "WMARK_JOBS" with
+  | None -> None
   | Some s -> (
       match int_of_string_opt (String.trim s) with
-      | Some j when j >= 1 -> j
-      | _ -> Domain.recommended_domain_count ())
+      | Some j when j >= 1 -> Some j
+      | _ ->
+          Printf.eprintf
+            "wmark: ignoring WMARK_JOBS=%s (not a positive integer), using \
+             the hardware default of %d\n\
+             %!"
+            (Filename.quote s)
+            (Domain.recommended_domain_count ());
+          None)
+
+let default_jobs () =
+  match env_jobs with
+  | Some j -> j
   | None -> Domain.recommended_domain_count ()
 
 let set_jobs = function
@@ -40,7 +55,7 @@ type pool = {
   queue : task Queue.t;
   mutable stop : bool;
   mutable domains : unit Domain.t list;
-  runners : int;  (* worker domains + the calling domain *)
+  mutable runners : int;  (* worker domains + the calling domain *)
 }
 
 let rec worker_loop p =
@@ -73,7 +88,12 @@ let shutdown p =
 let the_pool : pool option ref = ref None
 let spawn_mutex = Mutex.create ()
 
-let get_pool () =
+(* [get_pool ~want] returns the shared pool, grown to at least [want]
+   runners: a later [set_jobs]/[--jobs] above the first-call size spawns
+   the missing worker domains (under [spawn_mutex]) instead of being
+   silently clamped.  The pool never shrinks — fewer jobs just chunk the
+   index range over fewer tasks. *)
+let get_pool ~want () =
   Mutex.lock spawn_mutex;
   let p =
     match !the_pool with
@@ -96,6 +116,13 @@ let get_pool () =
         the_pool := Some p;
         p
   in
+  if want > p.runners then begin
+    p.domains <-
+      List.init (want - p.runners) (fun _ ->
+          Domain.spawn (fun () -> worker_loop p))
+      @ p.domains;
+    p.runners <- want
+  end;
   Mutex.unlock spawn_mutex;
   p
 
@@ -171,8 +198,7 @@ let run_indices j body n =
       body i
     done
   else begin
-    let p = get_pool () in
-    let j = min j p.runners in
+    let p = get_pool ~want:j () in
     let nchunks = max 1 (min n (j * 8)) in
     let tasks =
       Array.init nchunks (fun c ->

@@ -29,7 +29,8 @@
 
 val default_jobs : unit -> int
 (** [WMARK_JOBS] when set to a positive integer, otherwise
-    [Domain.recommended_domain_count ()]. *)
+    [Domain.recommended_domain_count ()].  A set-but-rejected value is
+    reported once on stderr at startup rather than ignored silently. *)
 
 val set_jobs : int option -> unit
 (** Process-wide override (the [--jobs] flag); [None] restores the
@@ -64,4 +65,7 @@ val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
 val pool_size : unit -> int
 (** Number of runners (worker domains + the calling domain) the pool
-    can bring to bear; 1 when no pool has been spawned yet. *)
+    can bring to bear; 1 when no pool has been spawned yet.  The pool
+    grows on demand: a combinator asked for more jobs than there are
+    runners spawns the missing domains first, so a [set_jobs] above the
+    first-call size is honored rather than clamped. *)

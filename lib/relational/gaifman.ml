@@ -25,6 +25,41 @@ let of_structure g =
     g ();
   { adj = Array.map (fun s -> Array.of_list (Iset.elements s)) sets }
 
+(* Incremental rebuild: only the adjacency rows of dirty elements can differ
+   from [prev] (an edge {y,z} appears or disappears only with a tuple
+   containing both, and every such edit dirties its endpoints), so we scan
+   the relations once for tuples touching the dirty set and copy every other
+   row.  Elements beyond [prev]'s universe are treated as dirty. *)
+let refresh g ~prev ~dirty =
+  let n = Structure.size g in
+  let prev_n = Array.length prev.adj in
+  let is_dirty = Array.make n false in
+  List.iter (fun x -> if x >= 0 && x < n then is_dirty.(x) <- true) dirty;
+  for a = prev_n to n - 1 do
+    is_dirty.(a) <- true
+  done;
+  let sets = Array.make n Iset.empty in
+  let add a b = if a <> b && is_dirty.(a) then sets.(a) <- Iset.add b sets.(a) in
+  Structure.fold_relations
+    (fun _ r () ->
+      Relation.iter
+        (fun t ->
+          if Array.exists (fun x -> is_dirty.(x)) t then
+            let k = Array.length t in
+            for i = 0 to k - 1 do
+              for j = 0 to k - 1 do
+                if i <> j then add t.(i) t.(j)
+              done
+            done)
+        r)
+    g ();
+  {
+    adj =
+      Array.init n (fun a ->
+          if is_dirty.(a) then Array.of_list (Iset.elements sets.(a))
+          else prev.adj.(a));
+  }
+
 let size g = Array.length g.adj
 
 let neighbors g a = Array.to_list g.adj.(a)
@@ -55,6 +90,32 @@ let bfs g a ~bound visit =
         g.adj.(u)
   done;
   dist
+
+let reach g ~sources ~bound =
+  let n = size g in
+  let dist = Array.make n (-1) in
+  let q = Queue.create () in
+  List.iter
+    (fun a ->
+      if a >= 0 && a < n && dist.(a) < 0 then begin
+        dist.(a) <- 0;
+        Queue.add a q
+      end)
+    sources;
+  let acc = ref [] in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    acc := u :: !acc;
+    if bound < 0 || dist.(u) < bound then
+      Array.iter
+        (fun v ->
+          if dist.(v) < 0 then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end)
+        g.adj.(u)
+  done;
+  List.sort compare !acc
 
 let distance g a b =
   if a = b then Some 0

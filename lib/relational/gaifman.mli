@@ -10,6 +10,14 @@ type t
 
 val of_structure : Structure.t -> t
 
+val refresh : Structure.t -> prev:t -> dirty:int list -> t
+(** [refresh g ~prev ~dirty] is [of_structure g], computed by copying every
+    adjacency row of [prev] whose element is not in [dirty] (an edge can only
+    change when a tuple containing both endpoints is edited, and every edit
+    dirties its tuple's elements — see {!Structure.apply_edit}).  [prev] must
+    be the Gaifman graph of the pre-edit structure and [dirty] the dirty set
+    the edits reported; elements outside [prev]'s universe count as dirty. *)
+
 val size : t -> int
 
 val neighbors : t -> int -> int list
@@ -19,6 +27,11 @@ val degree : t -> int -> int
 
 val max_degree : t -> int
 (** The k for which the structure belongs to STRUCT_k (0 for edgeless). *)
+
+val reach : t -> sources:int list -> bound:int -> int list
+(** Multi-source bounded BFS: all elements at distance [<= bound] from some
+    source ([bound < 0] means unbounded), sorted.  Out-of-range sources are
+    ignored — convenient when probing an old graph with post-edit ids. *)
 
 val distance : t -> int -> int -> int option
 (** BFS distance; [None] when disconnected (the paper's d(a,b) = infinity). *)

@@ -19,6 +19,7 @@ let equivalent g gf ~rho a b =
 
 type index = {
   rho : int;
+  arity : int;
   types : int Tuple.Map.t;
   representatives : Tuple.t array;
 }
@@ -67,6 +68,7 @@ let index ?jobs g ~rho tuples =
   let gf = Gaifman.of_structure g in
   let tups = Array.of_list (distinct_tuples tuples) in
   let n = Array.length tups in
+  let arity = if n > 0 then Array.length tups.(0) else 0 in
   (* Phase 1 (parallel): materialize every neighborhood and its
      invariants.  Each tuple is independent work over the shared
      immutable structure. *)
@@ -149,9 +151,164 @@ let index ?jobs g ~rho tuples =
       in
       types := Tuple.Map.add c ty !types)
     tups;
-  { rho; types = !types; representatives = Array.of_list (List.rev !reps) }
+  { rho; arity; types = !types; representatives = Array.of_list (List.rev !reps) }
 
-let index_universe ?jobs g ~rho ~arity = index ?jobs g ~rho (all_tuples g ~arity)
+let index_universe ?jobs g ~rho ~arity =
+  { (index ?jobs g ~rho (all_tuples g ~arity)) with arity }
+
+let affected_elements ~old_gf ~gf ~rho ~dirty =
+  (* Both graphs: an inserted edge shortens distances only in the new graph,
+     a deleted one only in the old; a tuple's sphere can change iff one of
+     its elements is within rho of a dirty element in either. *)
+  List.sort_uniq compare
+    (Gaifman.reach old_gf ~sources:dirty ~bound:rho
+    @ Gaifman.reach gf ~sources:dirty ~bound:rho)
+
+let reindex ?jobs ?(threshold = 0.5) ~old g ~prev ~dirty =
+  let rho = prev.rho and arity = prev.arity in
+  let old_gf = Gaifman.of_structure old in
+  let gf = Gaifman.refresh g ~prev:old_gf ~dirty in
+  let n = Structure.size g in
+  let affected = affected_elements ~old_gf ~gf ~rho ~dirty in
+  let in_a = Array.make (max n (Structure.size old)) false in
+  List.iter (fun x -> in_a.(x) <- true) affected;
+  let a_new = List.length (List.filter (fun x -> x < n) affected) in
+  let total = float_of_int n ** float_of_int arity in
+  let affected_tuples = total -. (float_of_int (n - a_new) ** float_of_int arity) in
+  if total = 0. || affected_tuples > threshold *. total then
+    index_universe ?jobs g ~rho ~arity
+  else begin
+    let touches c = Array.exists (fun x -> in_a.(x)) c in
+    (* Anchors: for every old type that still has a member untouched by the
+       affected region, any such member — its neighborhood is unchanged, so
+       it stands in for the whole class during reclassification.  Old
+       classes cannot merge (their untouched members stay non-isomorphic),
+       so matching an anchor is unambiguous. *)
+    let ntp_old = Array.length prev.representatives in
+    let anchor = Array.make ntp_old None in
+    Tuple.Map.iter
+      (fun c ty ->
+        if
+          anchor.(ty) = None
+          && not (Array.exists (fun x -> x >= n || in_a.(x)) c)
+        then anchor.(ty) <- Some c)
+      prev.types;
+    let anchors =
+      let acc = ref [] in
+      for ty = ntp_old - 1 downto 0 do
+        match anchor.(ty) with
+        | Some c -> acc := (ty, c) :: !acc
+        | None -> ()
+      done;
+      Array.of_list !acc
+    in
+    let anchor_keyed =
+      Wm_par.Pool.parallel_map ?jobs
+        (fun (ty, c) ->
+          let nb = of_tuple g gf ~rho c in
+          (ty, nb, cheap_invariants nb, Iso.certificate nb.sub nb.center))
+        anchors
+    in
+    let atbl : (int * int, (int * nbh) list ref) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    Array.iter
+      (fun (ty, nb, ck, cert) ->
+        match Hashtbl.find_opt atbl (ck, cert) with
+        | Some l -> l := (ty, nb) :: !l
+        | None -> Hashtbl.add atbl (ck, cert) (ref [ (ty, nb) ]))
+      anchor_keyed;
+    (* Affected tuples, in enumeration order so numbering below matches the
+       from-scratch index; everything else keeps its old class. *)
+    let at = Array.of_list (List.filter touches (all_tuples g ~arity)) in
+    let keyed =
+      Wm_par.Pool.parallel_map ?jobs
+        (fun c ->
+          let nb = of_tuple g gf ~rho c in
+          (nb, cheap_invariants nb, Iso.certificate nb.sub nb.center))
+        at
+    in
+    let btbl : (int * int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+    let border = ref [] in
+    Array.iteri
+      (fun i (_, ck, cert) ->
+        match Hashtbl.find_opt btbl (ck, cert) with
+        | Some slots -> slots := i :: !slots
+        | None ->
+            Hashtbl.add btbl (ck, cert) (ref [ i ]);
+            border := (ck, cert) :: !border)
+      keyed;
+    let buckets =
+      Array.of_list
+        (List.rev_map
+           (fun k -> (k, Array.of_list (List.rev !(Hashtbl.find btbl k))))
+           !border)
+    in
+    (* Class keys: [0 .. ntp_old-1] are surviving old classes, [ntp_old + i]
+       is a fresh class led by affected slot [i].  A fresh leader is not
+       isomorphic to any anchor of its bucket, hence to no surviving old
+       class; so every tuple matches at most one candidate and the result
+       does not depend on how buckets are scheduled. *)
+    let classified =
+      Wm_par.Pool.parallel_map ?jobs
+        (fun (key, slots) ->
+          let anchors_here =
+            match Hashtbl.find_opt atbl key with
+            | Some l -> List.rev !l
+            | None -> []
+          in
+          let reps = ref [] in
+          Array.map
+            (fun i ->
+              let nb, _, _ = keyed.(i) in
+              let iso (_, r) = Iso.isomorphic nb.sub nb.center r.sub r.center in
+              match List.find_opt iso anchors_here with
+              | Some (ty, _) -> ty
+              | None -> (
+                  match List.find_opt iso !reps with
+                  | Some (cls, _) -> cls
+                  | None ->
+                      let cls = ntp_old + i in
+                      reps := (cls, nb) :: !reps;
+                      cls))
+            slots)
+        buckets
+    in
+    let cls = Array.make (Array.length at) (-1) in
+    Array.iteri
+      (fun b (_, slots) ->
+        Array.iteri (fun k i -> cls.(i) <- classified.(b).(k)) slots)
+      buckets;
+    let cls_of_tuple = Tuple.Hashtbl.create (Array.length at) in
+    Array.iteri (fun i c -> Tuple.Hashtbl.replace cls_of_tuple c cls.(i)) at;
+    (* Renumber every class by first occurrence over the full enumeration —
+       the same sequential pass as the from-scratch phase 4, so type ids and
+       representatives come out bit-identical. *)
+    let ty_of_cls = Hashtbl.create 64 in
+    let reps = ref [] in
+    let next_ty = ref 0 in
+    let types = ref Tuple.Map.empty in
+    List.iter
+      (fun c ->
+        let k =
+          match Tuple.Hashtbl.find_opt cls_of_tuple c with
+          | Some k -> k
+          | None -> Tuple.Map.find c prev.types
+        in
+        let ty =
+          match Hashtbl.find_opt ty_of_cls k with
+          | Some ty -> ty
+          | None ->
+              let ty = !next_ty in
+              incr next_ty;
+              Hashtbl.add ty_of_cls k ty;
+              reps := c :: !reps;
+              ty
+        in
+        types := Tuple.Map.add c ty !types)
+      (all_tuples g ~arity);
+    { rho; arity; types = !types; representatives = Array.of_list (List.rev !reps) }
+  end
 
 let ntp ix = Array.length ix.representatives
 

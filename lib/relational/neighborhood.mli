@@ -21,6 +21,7 @@ val equivalent :
 
 type index = {
   rho : int;
+  arity : int;  (** arity of the indexed tuples (0 when none) *)
   types : int Tuple.Map.t;  (** type id of every indexed tuple *)
   representatives : Tuple.t array;  (** representatives.(ty) has type ty *)
 }
@@ -39,6 +40,33 @@ val index : ?jobs:int -> Structure.t -> rho:int -> Tuple.t list -> index
 
 val index_universe : ?jobs:int -> Structure.t -> rho:int -> arity:int -> index
 (** Types all of U^arity. *)
+
+val affected_elements :
+  old_gf:Gaifman.t -> gf:Gaifman.t -> rho:int -> dirty:int list -> int list
+(** Elements within distance [rho] of a dirty element in the old {e or} new
+    Gaifman graph, sorted.  A tuple none of whose elements is affected has
+    the same rho-sphere — and hence neighborhood type — before and after
+    the edits (DESIGN.md 5.7). *)
+
+val reindex :
+  ?jobs:int ->
+  ?threshold:float ->
+  old:Structure.t ->
+  Structure.t ->
+  prev:index ->
+  dirty:int list ->
+  index
+(** [reindex ~old g ~prev ~dirty] is [index_universe g ~rho:prev.rho
+    ~arity:prev.arity] — bit-identical, type numbering and representatives
+    included — computed incrementally from [prev], the universe index of the
+    pre-edit structure [old], and the dirty set its edits reported (see
+    {!Structure.apply_edits}).  Only tuples touching {!affected_elements}
+    are re-materialized and re-bucketed; each one is matched against an
+    {e anchor} (an untouched member) of every surviving old class before
+    opening a fresh class, and a final sequential pass renumbers classes by
+    first occurrence.  Falls back to a full rebuild when the affected
+    tuples exceed [threshold] (default [0.5]) of the universe.  Only
+    meaningful when [prev] indexes all of [old]'s U^arity. *)
 
 val ntp : index -> int
 (** Number of types = |S|. *)

@@ -104,6 +104,85 @@ let induced g sub =
   in
   ({ schema = g.schema; size = k; names; rels }, old)
 
+(* --- edits ---------------------------------------------------------- *)
+
+type edit =
+  | Insert_tuple of string * Tuple.t
+  | Delete_tuple of string * Tuple.t
+  | Add_element of string option
+  | Remove_element of int
+
+let remove_tuple g name t =
+  check_tuple g t;
+  let r = relation g name in
+  { g with rels = Smap.add name (Relation.remove t r) g.rels }
+
+let apply_edit g = function
+  | Insert_tuple (name, t) ->
+      let g' = add_tuple g name t in
+      (g', List.sort_uniq compare (Array.to_list t))
+  | Delete_tuple (name, t) ->
+      if Relation.mem t (relation g name) then
+        (remove_tuple g name t, List.sort_uniq compare (Array.to_list t))
+      else (g, [])
+  | Add_element name ->
+      let fresh = g.size in
+      let names =
+        match (g.names, name) with
+        | None, None -> None
+        | _ ->
+            let base =
+              match g.names with
+              | Some a -> a
+              | None -> Array.init g.size string_of_int
+            in
+            Some
+              (Array.init (g.size + 1) (fun i ->
+                   if i < g.size then base.(i)
+                   else Option.value ~default:(string_of_int i) name))
+      in
+      ({ g with size = g.size + 1; names }, [ fresh ])
+  | Remove_element x ->
+      if x <> g.size - 1 then
+        invalid_arg
+          (Printf.sprintf
+             "Structure.apply_edit: can only remove the last element (%d, \
+              universe has %d)"
+             x g.size);
+      (* Incident tuples go with the element; their surviving endpoints are
+         the dirty set (the removed id itself no longer exists). *)
+      let dirty = ref [] in
+      let rels =
+        Smap.map
+          (fun r ->
+            Relation.filter
+              (fun t ->
+                if Tuple.mem_elt x t then begin
+                  Array.iter (fun y -> if y <> x then dirty := y :: !dirty) t;
+                  false
+                end
+                else true)
+              r)
+          g.rels
+      in
+      let names =
+        match g.names with Some a -> Some (Array.sub a 0 x) | None -> None
+      in
+      ({ g with size = x; names; rels }, List.sort_uniq compare !dirty)
+
+let apply_edits g edits =
+  let g', dirty =
+    List.fold_left
+      (fun (g, acc) e ->
+        let g', d = apply_edit g e in
+        (g', List.rev_append d acc))
+      (g, []) edits
+  in
+  (* Dirty ids are reported against the *final* universe: ids that no
+     longer exist (a later Remove_element) are dropped — their former
+     neighbors are already dirty via the removal itself. *)
+  (g', List.sort_uniq compare (List.filter (fun x -> x < g'.size) dirty))
+
 let equal a b =
   a.size = b.size && Smap.equal Relation.equal a.rels b.rels
 

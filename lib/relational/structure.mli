@@ -52,6 +52,35 @@ val fold_relations : (string -> Relation.t -> 'a -> 'a) -> t -> 'a -> 'a
 val tuples_count : t -> int
 (** Total number of tuples across all relations. *)
 
+(** {1 Edits}
+
+    The update engine's vocabulary: functional single-step edits that also
+    report which elements they {e dirty} — the seeds of the Gaifman-local
+    maintenance in {!Wm_relational.Gaifman.refresh} and
+    {!Wm_relational.Neighborhood.reindex}.  An element is dirty when a
+    tuple mentioning it appeared or disappeared, or when it entered the
+    universe; by Gaifman locality, only tuples whose rho-sphere touches a
+    dirty element can change neighborhood type (DESIGN.md 5.7). *)
+
+type edit =
+  | Insert_tuple of string * Tuple.t
+  | Delete_tuple of string * Tuple.t
+  | Add_element of string option
+      (** Appends one element (id = old size), optionally named. *)
+  | Remove_element of int
+      (** Must be the last element (id = size-1), so surviving ids keep
+          their meaning; incident tuples are dropped with it. *)
+
+val apply_edit : t -> edit -> t * int list
+(** The edited structure and the sorted dirty-element set (ids valid in
+    the {e new} universe).  Deleting an absent tuple is a no-op with an
+    empty dirty set.  @raise Invalid_argument on out-of-range elements,
+    unknown relation symbols, or removing a non-last element. *)
+
+val apply_edits : t -> edit list -> t * int list
+(** Left-to-right {!apply_edit}; the union of the dirty sets, restricted
+    to elements that still exist in the final universe. *)
+
 val induced : t -> int list -> t * int array
 (** [induced g sub] is the substructure induced on the (deduplicated)
     elements of [sub], renamed to [0 .. k-1] in the order given, together

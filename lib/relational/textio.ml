@@ -201,6 +201,79 @@ let of_string text =
   | Ok ws -> ws
   | Error e -> raise (Format_error (error_to_string e))
 
+(* ------------------------------------------------------------------ *)
+(* Edit scripts: the line-oriented form of Structure.edit lists that
+   [wmark update] consumes.  Same comment and escaping conventions as the
+   structure format. *)
+
+let edits_to_string edits =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "# qpwm edit script\n";
+  List.iter
+    (fun e ->
+      match (e : Structure.edit) with
+      | Structure.Insert_tuple (name, t) ->
+          add "insert %s %s\n" name
+            (String.concat " " (List.map string_of_int (Tuple.to_list t)))
+      | Structure.Delete_tuple (name, t) ->
+          add "delete %s %s\n" name
+            (String.concat " " (List.map string_of_int (Tuple.to_list t)))
+      | Structure.Add_element None -> add "add\n"
+      | Structure.Add_element (Some n) -> add "add %s\n" (escape_name n)
+      | Structure.Remove_element x -> add "remove %d\n" x)
+    edits;
+  Buffer.contents buf
+
+let edits_of_string_result text =
+  let exception Fail of error in
+  let fail ~line fmt =
+    Printf.ksprintf (fun message -> raise (Fail { line; message })) fmt
+  in
+  try
+    let edits = ref [] in
+    List.iteri
+      (fun lineno line ->
+        let lineno = lineno + 1 in
+        let int_of s =
+          match int_of_string_opt s with
+          | Some n -> n
+          | None -> fail ~line:lineno "not an integer: %S" s
+        in
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let line = String.trim line in
+        if line <> "" then begin
+          let words = String.split_on_char ' ' line |> List.filter (( <> ) "") in
+          let edit =
+            match words with
+            | "insert" :: name :: (_ :: _ as elts) ->
+                Structure.Insert_tuple
+                  (name, Tuple.of_list (List.map int_of elts))
+            | "delete" :: name :: (_ :: _ as elts) ->
+                Structure.Delete_tuple
+                  (name, Tuple.of_list (List.map int_of elts))
+            | [ "add" ] -> Structure.Add_element None
+            | "add" :: rest ->
+                Structure.Add_element
+                  (Some (unescape_name (String.concat " " rest)))
+            | [ "remove"; x ] -> Structure.Remove_element (int_of x)
+            | _ -> fail ~line:lineno "unknown edit %S" line
+          in
+          edits := edit :: !edits
+        end)
+      (String.split_on_char '\n' text);
+    Ok (List.rev !edits)
+  with Fail e -> Error e
+
+let edits_of_string text =
+  match edits_of_string_result text with
+  | Ok es -> es
+  | Error e -> raise (Format_error (error_to_string e))
+
 let save path ws =
   let oc = open_out path in
   Fun.protect

@@ -48,3 +48,26 @@ val load : string -> Weighted.structure
 
 val load_result : string -> (Weighted.structure, error) result
 (** Total file variant: IO problems come back as [Error] with line 0. *)
+
+(** {1 Edit scripts}
+
+    The line-oriented form of {!Structure.edit} lists — what
+    [wmark update] reads.  One edit per line, same comment and [%XX]
+    escaping conventions as the structure format:
+
+    {v
+    # qpwm edit script
+    insert Route 0 3
+    delete Route 0 3
+    add                 # anonymous fresh element
+    add Elbonia%20      # named fresh element
+    remove 17           # must be the current last element
+    v} *)
+
+val edits_to_string : Structure.edit list -> string
+
+val edits_of_string_result : string -> (Structure.edit list, error) result
+(** Total: malformed lines come back as [Error] with line information. *)
+
+val edits_of_string : string -> Structure.edit list
+(** @raise Format_error on malformed content. *)

@@ -141,6 +141,70 @@ let apply_structural g attack (ws : Weighted.structure) =
       in
       Weighted.make fresh weights
 
+(* ------------------------------------------------------------------ *)
+(* Edit-script attacks: structural perturbations that keep the surviving
+   element numbering, expressed in the Structure.edit vocabulary.  The
+   dirty set they report feeds Neighborhood.reindex, so a detector (or the
+   attack grid) can measure type drift from the base index instead of
+   re-typing the whole suspect. *)
+
+type edit_attack =
+  | Drop_relation_tuples of { fraction : float }
+  | Graft_elements of { count : int; amplitude : int }
+
+let edit_script g attack (ws : Weighted.structure) =
+  let graph = ws.Weighted.graph in
+  match attack with
+  | Drop_relation_tuples { fraction } ->
+      let edits =
+        Structure.fold_relations
+          (fun name r acc ->
+            Relation.fold
+              (fun t acc ->
+                if Prng.bernoulli g fraction then
+                  Structure.Delete_tuple (name, t) :: acc
+                else acc)
+              r acc)
+          graph []
+      in
+      (List.rev edits, [])
+  | Graft_elements { count; amplitude } ->
+      let n = Structure.size graph in
+      let schema = Structure.schema graph in
+      let edits = ref [] in
+      let weights = ref [] in
+      for i = 0 to count - 1 do
+        let e = n + i in
+        edits :=
+          Structure.Add_element (Some (Printf.sprintf "noise_%d" e)) :: !edits;
+        List.iter
+          (fun (sym : Schema.symbol) ->
+            let t = Array.init sym.Schema.arity (fun _ -> Prng.int g (e + 1)) in
+            t.(Prng.int g sym.Schema.arity) <- e;
+            edits := Structure.Insert_tuple (sym.Schema.name, t) :: !edits)
+          (Schema.symbols schema);
+        if Weighted.arity ws.Weighted.weights = 1 then
+          weights :=
+            (Tuple.singleton e, Prng.int g (max 1 (amplitude + 1))) :: !weights
+      done;
+      (List.rev !edits, List.rev !weights)
+
+let apply_edit_attack g attack (ws : Weighted.structure) =
+  let edits, wsets = edit_script g attack ws in
+  let graph, dirty = Structure.apply_edits ws.Weighted.graph edits in
+  let weights =
+    List.fold_left
+      (fun w (t, v) -> Weighted.set w t v)
+      ws.Weighted.weights wsets
+  in
+  (Weighted.make graph weights, edits, dirty)
+
+let describe_edit = function
+  | Drop_relation_tuples { fraction } ->
+      Printf.sprintf "edit: drop %.0f%% of relation tuples" (100. *. fraction)
+  | Graft_elements { count; _ } ->
+      Printf.sprintf "edit: graft %d noise elements" count
+
 let describe_structural = function
   | Delete_tuples { fraction } ->
       Printf.sprintf "delete %.0f%% of tuples" (100. *. fraction)

@@ -77,6 +77,38 @@ val apply_structural :
 
 val describe_structural : structural -> string
 
+(** {1 Edit-script attacks}
+
+    Structural perturbations phrased as {!Wm_relational.Structure.edit}
+    scripts: element ids of survivors are untouched (tuples are dropped in
+    place, fresh elements are appended), so the script's dirty set feeds
+    {!Wm_relational.Neighborhood.reindex} directly and the attack grid can
+    measure neighborhood-type drift against the scheme's base index
+    instead of re-typing the suspect from scratch. *)
+
+type edit_attack =
+  | Drop_relation_tuples of { fraction : float }
+      (** Delete each relation tuple independently with the given
+          probability — thins query results without renumbering. *)
+  | Graft_elements of { count : int; amplitude : int }
+      (** Append [count] fresh elements, each joining one random tuple per
+          relation symbol; unary weights of grafted elements are uniform
+          in [0, amplitude]. *)
+
+val edit_script :
+  Prng.t -> edit_attack -> Weighted.structure ->
+  Structure.edit list * (Tuple.t * int) list
+(** The attack as an edit script plus weight entries for grafted
+    carriers.  Deterministic in the generator. *)
+
+val apply_edit_attack :
+  Prng.t -> edit_attack -> Weighted.structure ->
+  Weighted.structure * Structure.edit list * int list
+(** Runs {!edit_script} through {!Wm_relational.Structure.apply_edits}:
+    the suspect instance, the script, and the dirty element set. *)
+
+val describe_edit : edit_attack -> string
+
 (** {1 Structural attacks on XML documents} *)
 
 type tree_attack =

@@ -1,8 +1,12 @@
-type spec = Weights of Adversary.attack | Structural of Adversary.structural
+type spec =
+  | Weights of Adversary.attack
+  | Structural of Adversary.structural
+  | Edited of Adversary.edit_attack
 
 let describe_spec = function
   | Weights a -> Adversary.describe a
   | Structural a -> Adversary.describe_structural a
+  | Edited a -> Adversary.describe_edit a
 
 type outcome = {
   attack : string;
@@ -17,6 +21,7 @@ type outcome = {
   distortion : int option;
   recovered : bool;
   naive_recovered : bool;
+  type_drift : bool option;
 }
 
 type report = {
@@ -42,6 +47,11 @@ let default_grid ~active =
     Structural (Adversary.Subset_sample { keep = 0.5 });
     Structural (Adversary.Insert_noise_tuples { count = tenth; amplitude = 999 });
     Structural Adversary.Shuffle_universe;
+    (* Appended last: per-cell PRNGs are keyed by grid position, so
+       existing rows keep their exact values. *)
+    Edited (Adversary.Drop_relation_tuples { fraction = 0.1 });
+    Edited (Adversary.Drop_relation_tuples { fraction = 0.3 });
+    Edited (Adversary.Graft_elements { count = tenth; amplitude = 999 });
   ]
 
 (* A deterministic per-cell generator: the cell's position in the grid is
@@ -87,16 +97,36 @@ let run ?jobs ?(options = Local_scheme.default_options) ?(seed = 0xA77AC)
                 grid)
             usable
         in
+        let base_ix = Local_scheme.index scheme in
         let run_cell (times, marked, marked_ws, index, spec) =
           let g = cell_prng ~seed ~redundancy:times ~index in
-          let suspect_ws, distortion =
+          let suspect_ws, distortion, type_drift =
             match spec with
             | Weights a ->
                 let attacked = Adversary.apply g a ~active marked in
                 ( { ws with Weighted.weights = attacked },
-                  Some (Distortion.global qs marked attacked) )
+                  Some (Distortion.global qs marked attacked),
+                  None )
             | Structural a ->
-                (Adversary.apply_structural g a marked_ws, None)
+                (Adversary.apply_structural g a marked_ws, None, None)
+            | Edited a ->
+                (* The script keeps surviving element ids, so its dirty set
+                   drives an incremental reindex from the scheme's base
+                   index: type drift costs one dirty-region sweep per cell
+                   instead of two full universe typings. *)
+                let suspect, _script, dirty =
+                  Adversary.apply_edit_attack g a marked_ws
+                in
+                let suspect_ix =
+                  Neighborhood.reindex ~jobs:1 ~old:ws.Weighted.graph
+                    suspect.Weighted.graph ~prev:base_ix ~dirty
+                in
+                let drift =
+                  not
+                    (Incremental.type_preserving_ix ws.Weighted.graph base_ix
+                       suspect.Weighted.graph suspect_ix)
+                in
+                (suspect, None, Some drift)
           in
           let rv, _alignment =
             (* jobs:1 — the cell is already one parallel task; nesting
@@ -125,6 +155,7 @@ let run ?jobs ?(options = Local_scheme.default_options) ?(seed = 0xA77AC)
             distortion;
             recovered = Bitvec.equal message rv.Survivable.message;
             naive_recovered = Bitvec.equal message naive;
+            type_drift;
           }
         in
         let rows = Wm_par.Pool.map_list ?jobs run_cell cells in
@@ -142,7 +173,7 @@ let run ?jobs ?(options = Local_scheme.default_options) ?(seed = 0xA77AC)
       end
 
 let csv_header =
-  "attack,redundancy,bits,carriers,erased,erasure_rate,bit_errors,ber,pvalue,distortion,recovered,naive_recovered"
+  "attack,redundancy,bits,carriers,erased,erasure_rate,bit_errors,ber,pvalue,distortion,recovered,naive_recovered,type_drift"
 
 let to_csv r =
   let buf = Buffer.create 1024 in
@@ -151,11 +182,12 @@ let to_csv r =
   List.iter
     (fun o ->
       Buffer.add_string buf
-        (Printf.sprintf "%S,%d,%d,%d,%d,%.4f,%d,%.4f,%.3g,%s,%b,%b\n" o.attack
-           o.redundancy o.bits o.carriers o.erased o.erasure_rate o.bit_errors
-           o.ber o.pvalue
+        (Printf.sprintf "%S,%d,%d,%d,%d,%.4f,%d,%.4f,%.3g,%s,%b,%b,%s\n"
+           o.attack o.redundancy o.bits o.carriers o.erased o.erasure_rate
+           o.bit_errors o.ber o.pvalue
            (match o.distortion with Some d -> string_of_int d | None -> "")
-           o.recovered o.naive_recovered))
+           o.recovered o.naive_recovered
+           (match o.type_drift with Some b -> string_of_bool b | None -> "")))
     r.rows;
   Buffer.contents buf
 
@@ -176,6 +208,8 @@ let outcome_to_json o =
           match o.distortion with Some d -> Int d | None -> Null );
         ("recovered", Bool o.recovered);
         ("naive_recovered", Bool o.naive_recovered);
+        ( "type_drift",
+          match o.type_drift with Some b -> Bool b | None -> Null );
       ])
 
 let to_json r =
@@ -193,15 +227,22 @@ let to_json r =
 let render r =
   let t =
     Texttab.create
-      [ "attack"; "R"; "erased"; "BER"; "p-value"; "d'"; "survivable"; "aligned" ]
+      [
+        "attack"; "R"; "erased"; "BER"; "p-value"; "d'"; "survivable";
+        "aligned"; "types";
+      ]
   in
   List.iter
     (fun o ->
-      Texttab.addf t "%s|%d|%d/%d|%.2f|%.2g|%s|%s|%s" o.attack o.redundancy
+      Texttab.addf t "%s|%d|%d/%d|%.2f|%.2g|%s|%s|%s|%s" o.attack o.redundancy
         o.erased o.carriers o.ber o.pvalue
         (match o.distortion with Some d -> string_of_int d | None -> "-")
         (if o.recovered then "recovered" else "LOST")
-        (if o.naive_recovered then "recovered" else "LOST"))
+        (if o.naive_recovered then "recovered" else "LOST")
+        (match o.type_drift with
+        | Some true -> "drift"
+        | Some false -> "stable"
+        | None -> "-"))
     r.rows;
   Printf.sprintf
     "workload: %s\nmessage: %d bits (%d), capacity %d, active %d\n%s"

@@ -13,7 +13,15 @@
     generator derived from (seed, redundancy, grid position), so adding a
     row to the grid never changes earlier rows. *)
 
-type spec = Weights of Adversary.attack | Structural of Adversary.structural
+type spec =
+  | Weights of Adversary.attack
+  | Structural of Adversary.structural
+  | Edited of Adversary.edit_attack
+      (** An edit-script attack: surviving element ids are preserved, the
+          reported dirty set drives an incremental
+          {!Wm_relational.Neighborhood.reindex} from the scheme's base
+          index, and the cell reports whether the attack drifted the
+          neighborhood-type set ({!outcome.type_drift}). *)
 
 val describe_spec : spec -> string
 
@@ -31,6 +39,10 @@ type outcome = {
       (** global budget d' spent, for weight-level attacks *)
   recovered : bool;  (** survivable detector got the exact message *)
   naive_recovered : bool;  (** the aligned detector path did too *)
+  type_drift : bool option;
+      (** [Edited] cells only: did the attack create or suppress a
+          neighborhood type (Theorem 8's re-mark condition), measured by
+          incremental reindex against the base index *)
 }
 
 type report = {
@@ -44,7 +56,9 @@ type report = {
 val default_grid : active:int -> spec list
 (** Budgets scaled to the workload: flip counts at 10%/30% of the active
     set, deletions at 10–30%, a half sample, 10% noise rows, a shuffle,
-    plus a zero-delta offset as the no-attack baseline row. *)
+    plus a zero-delta offset as the no-attack baseline row; appended after
+    those, edit-script cells (tuple drops at 10%/30%, a 10% element
+    graft) that also report type drift. *)
 
 val run :
   ?jobs:int ->

@@ -34,6 +34,35 @@ let update_decision ~rho ~arity ~old_graph ~new_graph =
   if type_preserving ~rho ~arity old_graph new_graph then `Keep_mark
   else `Remark_required
 
+(* Same dichotomy, but from indexes already in hand (e.g. the before/after
+   of Neighborhood.reindex): only the representatives are re-materialized,
+   no universe re-typing. *)
+let type_preserving_ix g1 (ix1 : Neighborhood.index) g2
+    (ix2 : Neighborhood.index) =
+  if ix1.rho <> ix2.rho then
+    invalid_arg "Incremental.type_preserving_ix: indexes disagree on rho";
+  let nbs g (ix : Neighborhood.index) =
+    let gf = Gaifman.of_structure g in
+    Array.map
+      (fun rep -> Neighborhood.of_tuple g gf ~rho:ix.rho rep)
+      ix.representatives
+  in
+  let reps1 = nbs g1 ix1 and reps2 = nbs g2 ix2 in
+  let covered a b =
+    Array.for_all
+      (fun (na : Neighborhood.nbh) ->
+        Array.exists
+          (fun (nb : Neighborhood.nbh) ->
+            Iso.isomorphic na.sub na.center nb.sub nb.center)
+          b)
+      a
+  in
+  covered reps1 reps2 && covered reps2 reps1
+
+let update_decision_ix ~old_graph ~old_index ~new_graph ~new_index =
+  if type_preserving_ix old_graph old_index new_graph new_index then `Keep_mark
+  else `Remark_required
+
 let average a b =
   let support =
     List.sort_uniq Tuple.compare (Weighted.support a @ Weighted.support b)

@@ -30,6 +30,21 @@ val update_decision :
 (** Theorem 8's dichotomy, as a decision procedure the owner runs before
     publishing an update. *)
 
+val type_preserving_ix :
+  Structure.t -> Neighborhood.index -> Structure.t -> Neighborhood.index ->
+  bool
+(** {!type_preserving} when both universe indexes are already in hand —
+    e.g. before and after {!Wm_relational.Neighborhood.reindex} — so only
+    the representatives are compared, with no universe re-typing.  The
+    indexes must share [rho]. *)
+
+val update_decision_ix :
+  old_graph:Structure.t -> old_index:Neighborhood.index ->
+  new_graph:Structure.t -> new_index:Neighborhood.index ->
+  [ `Keep_mark | `Remark_required ]
+(** {!update_decision} via {!type_preserving_ix} — the cheap path used by
+    [wmark update]. *)
+
 val average : Weighted.t -> Weighted.t -> Weighted.t
 (** The auto-collusion attack: per-element integer average (rounding
     toward the first argument).  Averaging two copies with opposite pair

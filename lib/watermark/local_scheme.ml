@@ -24,7 +24,59 @@ type t = {
   qs : Query_system.t;
   selected : Pairing.pair list;
   rep : report;
+  ix : Neighborhood.index;
+  options : options;
 }
+
+(* The pairing/selection/report tail shared by [prepare] and [update]: a
+   deterministic function of (options, query, query system, degree, index),
+   so an incremental update that reproduces the same inputs reproduces the
+   same scheme. *)
+let assemble ~options ~g ~q ~qs ~degree ~rho ~ix =
+  let active = Query_system.active qs in
+  if active = [] then Error "query has no active weighted elements"
+  else begin
+    let canonical = Array.to_list ix.Neighborhood.representatives in
+    let all_pairs = Pairing.s_partition qs ~canonical in
+    let budget = int_of_float (ceil (1.0 /. options.epsilon)) in
+    let eta = Locality.eta q ~k:degree ~rho in
+    let selected =
+      let g0 = Prng.create options.seed in
+      match options.selection with
+      | `Greedy -> Pairing.select_greedy g0 qs all_pairs ~budget
+      | `Random tries ->
+          let n = Locality.query_count_bound g q in
+          let p =
+            1.0
+            /. (float_of_int (max 1 eta)
+               *. (float_of_int (2 * n) ** options.epsilon))
+          in
+          let rec attempt i =
+            if i = 0 then []
+            else
+              match Pairing.select_random g0 qs all_pairs ~p ~budget with
+              | Some pairs when pairs <> [] -> pairs
+              | _ -> attempt (i - 1)
+          in
+          attempt tries
+    in
+    if selected = [] then Error "no pair survived eps-good selection"
+    else
+      let rep =
+        {
+          degree;
+          rho;
+          ntp = Neighborhood.ntp ix;
+          active = List.length active;
+          pairs_available = List.length all_pairs;
+          pairs_selected = List.length selected;
+          eta;
+          budget;
+          max_split = Pairing.max_split qs selected;
+        }
+      in
+      Ok { qs; selected; rep; ix; options }
+  end
 
 let prepare ?(options = default_options) ?qs (ws : Weighted.structure) q =
   let g = ws.Weighted.graph in
@@ -36,66 +88,39 @@ let prepare ?(options = default_options) ?qs (ws : Weighted.structure) q =
     let qs =
       match qs with Some qs -> qs | None -> Query_system.of_relational g q
     in
-    let active = Query_system.active qs in
-    if active = [] then Error "query has no active weighted elements"
-    else begin
-      let gf = Gaifman.of_structure g in
-      let degree = Gaifman.max_degree gf in
-      let rho =
-        match options.rho with
-        | Some r -> r
-        | None -> Locality.best_rank q.Query.phi
-      in
-      let ix = Neighborhood.index g ~rho (Query_system.params qs) in
-      let canonical = Array.to_list ix.Neighborhood.representatives in
-      let all_pairs = Pairing.s_partition qs ~canonical in
-      let budget =
-        int_of_float (ceil (1.0 /. options.epsilon))
-      in
-      let eta = Locality.eta q ~k:degree ~rho in
-      let selected =
-        let g0 = Prng.create options.seed in
-        match options.selection with
-        | `Greedy -> Pairing.select_greedy g0 qs all_pairs ~budget
-        | `Random tries ->
-            let n = Locality.query_count_bound g q in
-            let p =
-              1.0
-              /. (float_of_int (max 1 eta)
-                 *. (float_of_int (2 * n) ** options.epsilon))
-            in
-            let rec attempt i =
-              if i = 0 then []
-              else
-                match Pairing.select_random g0 qs all_pairs ~p ~budget with
-                | Some pairs when pairs <> [] -> pairs
-                | _ -> attempt (i - 1)
-            in
-            attempt tries
-      in
-      if selected = [] then Error "no pair survived eps-good selection"
-      else
-        let rep =
-          {
-            degree;
-            rho;
-            ntp = Neighborhood.ntp ix;
-            active = List.length active;
-            pairs_available = List.length all_pairs;
-            pairs_selected = List.length selected;
-            eta;
-            budget;
-            max_split = Pairing.max_split qs selected;
-          }
-        in
-        Ok { qs; selected; rep }
-    end
+    let gf = Gaifman.of_structure g in
+    let degree = Gaifman.max_degree gf in
+    let rho =
+      match options.rho with
+      | Some r -> r
+      | None -> Locality.best_rank q.Query.phi
+    in
+    let ix = Neighborhood.index g ~rho (Query_system.params qs) in
+    assemble ~options ~g ~q ~qs ~degree ~rho ~ix
+  end
+
+let update t ~old (ws : Weighted.structure) q ~dirty =
+  let options = t.options in
+  let g = ws.Weighted.graph in
+  if Query.result_arity q <> Weighted.arity ws.Weighted.weights then
+    Error "result arity differs from weight arity"
+  else begin
+    let old_g = old.Weighted.graph in
+    let rho = t.ix.Neighborhood.rho in
+    let old_gf = Gaifman.of_structure old_g in
+    let gf = Gaifman.refresh g ~prev:old_gf ~dirty in
+    let degree = Gaifman.max_degree gf in
+    let affected = Neighborhood.affected_elements ~old_gf ~gf ~rho ~dirty in
+    let ix = Neighborhood.reindex ~old:old_g g ~prev:t.ix ~dirty in
+    let qs = Query_system.refresh_relational t.qs g q ~affected in
+    assemble ~options ~g ~q ~qs ~degree ~rho ~ix
   end
 
 let report t = t.rep
 let capacity t = List.length t.selected
 let pairs t = t.selected
 let query_system t = t.qs
+let index t = t.ix
 
 let mark t message w =
   Weighted.apply_marks w (Pairing.orientation_marks t.selected message)

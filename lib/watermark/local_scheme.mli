@@ -53,6 +53,27 @@ val prepare :
     sets than the generic FO evaluator; the scheme itself only consumes
     the query-system interface. *)
 
+val update :
+  t ->
+  old:Weighted.structure ->
+  Weighted.structure ->
+  Query.t ->
+  dirty:int list ->
+  (t, string) result
+(** Re-prepare after structural edits, incrementally: [update t ~old ws q
+    ~dirty] is [prepare ~options ws q] for the options [t] was prepared
+    with — same pairs, same report, bit for bit — but the neighborhood
+    index comes from {!Wm_relational.Neighborhood.reindex} over the dirty
+    set the edits reported (see {!Wm_relational.Structure.apply_edits}) and
+    the query memo is carried over through {!Query_system.refresh} instead
+    of starting cold.  [old] is the instance [t] was prepared on.  After a
+    type-changing update the marker re-embeds (Theorem 8's dichotomy):
+    compare {!index} before and after, or use
+    {!Wm_watermark.Incremental.update_decision}. *)
+
+val index : t -> Neighborhood.index
+(** The scheme's neighborhood type index (what {!update} maintains). *)
+
 val report : t -> report
 val capacity : t -> int
 (** Number of message bits the scheme can embed. *)

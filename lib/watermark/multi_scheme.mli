@@ -28,9 +28,27 @@ val prepare :
   ?options:options -> Weighted.structure -> Query.t list -> (t, string) result
 (** All queries must share the weight arity; at least one query. *)
 
+val update :
+  t ->
+  old:Weighted.structure ->
+  Weighted.structure ->
+  Query.t list ->
+  dirty:int list ->
+  (t, string) result
+(** Re-prepare after structural edits without recomputing the per-query
+    type indexes or query memos from scratch: each index goes through
+    {!Wm_relational.Neighborhood.reindex} over the reported dirty set and
+    each query system through {!Query_system.refresh} at that query's own
+    radius.  Bit-identical to [prepare] with the original options on the
+    edited instance.  [queries] must be the list [t] was prepared with
+    (same length, same order). *)
+
 val report : t -> report
 val capacity : t -> int
 val pairs : t -> Pairing.pair list
+
+val indexes : t -> Neighborhood.index list
+(** Per-query neighborhood indexes (what {!update} maintains). *)
 
 val mark : t -> Bitvec.t -> Weighted.t -> Weighted.t
 

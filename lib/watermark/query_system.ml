@@ -2,7 +2,11 @@ type t = {
   params : Tuple.t list;
   result_fn : Tuple.t -> Tuple.Set.t;
   weight_arity : int;
-  cache : Tuple.Set.t Tuple.Hashtbl.t;
+  mutable frozen : Tuple.Set.t Tuple.Map.t;
+      (* lock-free read path: written only by [precompute]/[refresh] before
+         the value is shared across domains *)
+  cache : Tuple.Set.t Tuple.Hashtbl.t; (* guarded by [lock] *)
+  lock : Mutex.t;
   mutable active : Tuple.Set.t option;
 }
 
@@ -11,7 +15,9 @@ let make params result_fn weight_arity =
     params;
     result_fn;
     weight_arity;
+    frozen = Tuple.Map.empty;
     cache = Tuple.Hashtbl.create (List.length params);
+    lock = Mutex.create ();
     active = None;
   }
 
@@ -31,12 +37,24 @@ let params t = t.params
 let weight_arity t = t.weight_arity
 
 let result_set t a =
-  match Tuple.Hashtbl.find_opt t.cache a with
+  match Tuple.Map.find_opt a t.frozen with
   | Some s -> s
-  | None ->
-      let s = t.result_fn a in
-      Tuple.Hashtbl.replace t.cache a s;
-      s
+  | None -> (
+      Mutex.lock t.lock;
+      match Tuple.Hashtbl.find_opt t.cache a with
+      | Some s ->
+          Mutex.unlock t.lock;
+          s
+      | None ->
+          (* Evaluate outside the lock: [result_fn] is deterministic, so a
+             racing domain computing the same miss stores the same set and
+             either store may win. *)
+          Mutex.unlock t.lock;
+          let s = t.result_fn a in
+          Mutex.lock t.lock;
+          Tuple.Hashtbl.replace t.cache a s;
+          Mutex.unlock t.lock;
+          s)
 
 let active_set t =
   match t.active with
@@ -53,11 +71,79 @@ let active_set t =
 let active t = Tuple.Set.elements (active_set t)
 
 let precompute t =
-  (* Force every param's result set into the cache and materialize the
-     active set.  After this, [result_set]/[f]/[server] only read, so a
-     query system can be shared by several domains — the cache and the
-     [active] field are the only mutable state in the value. *)
+  (* Promote every param's result set into the frozen map and materialize
+     the active set.  After this, [result_set] on a param never touches the
+     hashtable; only misses on non-param tuples do, and those go through
+     [lock]. *)
+  t.frozen <-
+    List.fold_left
+      (fun m a -> Tuple.Map.add a (result_set t a) m)
+      t.frozen t.params;
   ignore (active_set t)
+
+(* --- edit-scoped refresh --------------------------------------------- *)
+
+let refresh t ~result_fn ~holds ~params ~size ~affected =
+  let in_a = Array.make (max size 1) false in
+  List.iter (fun x -> if x >= 0 && x < size then in_a.(x) <- true) affected;
+  let touched tup = Array.exists (fun x -> x >= size || in_a.(x)) tup in
+  (* Result tuples whose membership may have flipped: those with an element
+     in the affected region.  Everything else keeps its old verdict, by the
+     same rho-locality the scheme's type index relies on. *)
+  let candidates =
+    let r = t.weight_arity in
+    let rec go k acc =
+      if k = 0 then acc
+      else
+        go (k - 1)
+          (List.concat_map
+             (fun rest -> List.init size (fun x -> x :: rest))
+             acc)
+    in
+    if size = 0 then []
+    else
+      List.filter_map
+        (fun l ->
+          let tup = Tuple.of_list l in
+          if touched tup then Some tup else None)
+        (go r [ [] ])
+  in
+  let patch a s =
+    let kept = Tuple.Set.filter (fun b -> not (touched b)) s in
+    List.fold_left
+      (fun acc b -> if holds a b then Tuple.Set.add b acc else acc)
+      kept candidates
+  in
+  let survivors = ref Tuple.Map.empty in
+  let add a s =
+    if (not (touched a)) && not (Tuple.Map.mem a !survivors) then
+      survivors := Tuple.Map.add a (patch a s) !survivors
+  in
+  Tuple.Map.iter add t.frozen;
+  Mutex.lock t.lock;
+  Tuple.Hashtbl.iter add t.cache;
+  Mutex.unlock t.lock;
+  {
+    params;
+    result_fn;
+    weight_arity = t.weight_arity;
+    frozen = !survivors;
+    cache = Tuple.Hashtbl.create (List.length params);
+    lock = Mutex.create ();
+    active = None;
+  }
+
+let refresh_relational t g q ~affected =
+  let holds a b =
+    let env = Eval.bind_all Eval.empty_env q.Query.params a in
+    let env = Eval.bind_all env q.Query.results b in
+    Eval.holds g env q.Query.phi
+  in
+  refresh t
+    ~result_fn:(Query.result_set g q)
+    ~holds
+    ~params:(Query.all_params g q)
+    ~size:(Structure.size g) ~affected
 
 let f t w a =
   Tuple.Set.fold (fun b acc -> acc + Weighted.get w b) (result_set t a) 0

@@ -38,11 +38,38 @@ val active : t -> Tuple.t list
 val active_set : t -> Tuple.Set.t
 
 val precompute : t -> unit
-(** Force every memo (all result sets, the active set) eagerly.  A query
-    system is mutable only through these memos; once precomputed it is
-    read-only and safe to share across {!Wm_par.Pool} domains.  Parallel
-    call sites ({!Wm_watermark.Attack_suite.run}) call this before
-    fanning out. *)
+(** Force every memo (all result sets, the active set) eagerly, promoting
+    params into a lock-free frozen map.  A query system is safe to share
+    across {!Wm_par.Pool} domains with or without this call — cache misses
+    on tuples outside [params] (survivable realignment asks those) go
+    through an internal mutex — but precomputing keeps the common path
+    lock-free.  Parallel call sites ({!Wm_watermark.Attack_suite.run}) call
+    this before fanning out. *)
+
+val refresh :
+  t ->
+  result_fn:(Tuple.t -> Tuple.Set.t) ->
+  holds:(Tuple.t -> Tuple.t -> bool) ->
+  params:Tuple.t list ->
+  size:int ->
+  affected:int list ->
+  t
+(** Edit-scoped cache carry-over: a query system for the edited substrate
+    ([result_fn]/[params] evaluate there, [size] is its universe) whose
+    memo is seeded from this one instead of starting cold.  A cached entry
+    survives when its parameter tuple avoids [affected] (see
+    {!Wm_relational.Neighborhood.affected_elements}) and stays in range;
+    its result set is patched by dropping results touching the affected
+    region and re-asking [holds param result] for every candidate result
+    tuple that touches it.  Parameters inside the region are dropped and
+    re-evaluated lazily.  Sound for queries local at the radius used to
+    compute [affected] — the same assumption the scheme's type index makes
+    (DESIGN.md 5.7). *)
+
+val refresh_relational : t -> Structure.t -> Query.t -> affected:int list -> t
+(** {!refresh} specialized to an FO query over the edited structure:
+    membership probes are {!Wm_logic.Eval.holds} on the patched
+    bindings. *)
 
 val f : t -> Weighted.t -> Tuple.t -> int
 (** f_(G,W)(a) = sum of weights over W_a. *)

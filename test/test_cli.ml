@@ -101,10 +101,49 @@ let test_cli_bad_input () =
       check bool "diagnostic" true (contains out "wmark:")
   | None -> ()
 
+let test_cli_jobs_zero () =
+  skip_or @@ fun () ->
+  let db = tmp "db3.txt" in
+  ignore (run_cli (Printf.sprintf "gen-travel --travels 12 --transports 10 --seed 6 -o %s" db));
+  match run_cli (Printf.sprintf "info %s -q \"Route(u,v)\" --jobs 0" db) with
+  | Some (code, out) ->
+      check bool "nonzero exit" true (code <> 0);
+      check bool "names the bad value" true (contains out "--jobs 0")
+  | None -> ()
+
+let test_cli_update () =
+  skip_or @@ fun () ->
+  let db = tmp "db4.txt" and script = tmp "edits.txt" and out_db = tmp "db4e.txt" in
+  ignore (run_cli (Printf.sprintf "gen-travel --travels 20 --transports 50 --seed 5 -o %s" db));
+  let oc = open_out script in
+  output_string oc "# grow the instance a little\ninsert Route 3 4\nadd fresh\n";
+  close_out oc;
+  (match
+     run_cli
+       (Printf.sprintf "update %s --edits %s -q \"Route(u,v)\" -o %s" db script
+          out_db)
+   with
+  | Some (0, out) ->
+      check bool "reports a decision" true (contains out "decision");
+      check bool "wrote the edited copy" true (Sys.file_exists out_db)
+  | Some (c, out) -> Alcotest.fail (Printf.sprintf "update exit %d: %s" c out)
+  | None -> ());
+  (* a malformed script is a diagnostic, not a crash *)
+  let oc = open_out script in
+  output_string oc "frobnicate 1 2\n";
+  close_out oc;
+  match run_cli (Printf.sprintf "update %s --edits %s -q \"Route(u,v)\"" db script) with
+  | Some (code, out) ->
+      check bool "nonzero exit" true (code <> 0);
+      check bool "diagnostic" true (contains out "wmark:")
+  | None -> ()
+
 let suite =
   [
     ("cli relational cycle", `Slow, test_cli_relational_cycle);
     ("cli info and vc", `Slow, test_cli_info_and_vc);
     ("cli xml cycle", `Slow, test_cli_xml_cycle);
     ("cli rejects bad input", `Slow, test_cli_bad_input);
+    ("cli rejects --jobs 0", `Slow, test_cli_jobs_zero);
+    ("cli update subcommand", `Slow, test_cli_update);
   ]

@@ -143,6 +143,34 @@ let test_textio_roundtrip_stable () =
   | Error e -> Alcotest.failf "valid input rejected: %s" (Textio.error_to_string e)
   | Ok ws -> check string "fixpoint" base (Textio.to_string ws)
 
+(* --- edit scripts ----------------------------------------------------- *)
+
+let test_edit_script_roundtrip () =
+  let script =
+    [
+      Structure.Insert_tuple ("Route", Tuple.of_list [ 0; 3 ]);
+      Structure.Delete_tuple ("Timetable", Tuple.of_list [ 3; 9; 10; 15 ]);
+      Structure.Add_element None;
+      Structure.Add_element (Some "with#hash and  spaces ");
+      Structure.Remove_element 17;
+    ]
+  in
+  match Textio.edits_of_string_result (Textio.edits_to_string script) with
+  | Error e -> Alcotest.failf "round-trip rejected: %s" (Textio.error_to_string e)
+  | Ok script' -> check bool "identical" true (script = script')
+
+let test_edit_script_malformed () =
+  (match Textio.edits_of_string_result "insert Route 0 1\nfrobnicate 2\n" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e -> check int "line" 2 e.Textio.line);
+  (match Textio.edits_of_string_result "remove not_an_int\n" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error _ -> ());
+  (* insert/delete with no elements are malformed, not nullary tuples *)
+  match Textio.edits_of_string_result "insert Route\n" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error _ -> ()
+
 (* --- XML ------------------------------------------------------------- *)
 
 let valid_xml =
@@ -215,6 +243,8 @@ let suite =
     ("textio exception API delegates", `Quick, test_textio_exception_api_delegates);
     ("textio name round-trip", `Quick, test_textio_name_roundtrip);
     ("textio serialization fixpoint", `Quick, test_textio_roundtrip_stable);
+    ("edit script round-trip", `Quick, test_edit_script_roundtrip);
+    ("edit script malformed inputs", `Quick, test_edit_script_malformed);
     ("xml fuzz (60 mutants)", `Quick, test_xml_fuzz);
     ("xml malformed inputs", `Quick, test_xml_malformed_are_errors);
     ("xml error positions", `Quick, test_xml_error_positions);

@@ -6,6 +6,7 @@ let () =
       ("util", Test_util.suite);
       ("par", Test_par.suite);
       ("relational", Test_relational.suite);
+      ("incremental", Test_incremental.suite);
       ("logic", Test_logic.suite);
       ("trees", Test_trees.suite);
       ("xml", Test_xml.suite);

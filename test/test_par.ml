@@ -79,6 +79,69 @@ let test_set_jobs_roundtrip () =
   Pool.set_jobs None;
   check int "back to default" d (Pool.jobs ())
 
+let test_pool_grows_on_demand () =
+  (* Warm the pool up small, then ask for more: the missing worker
+     domains must be spawned, not silently clamped to the first-call
+     size (the E20 strong-scaling bug). *)
+  Pool.set_jobs (Some 1);
+  ignore (Pool.parallel_map ~jobs:2 (fun x -> x + 1) (Array.init 64 Fun.id));
+  let before = Pool.pool_size () in
+  let want = max 8 (before + 2) in
+  Pool.set_jobs (Some want);
+  (* A spin barrier: every task waits until [want] of them run at once,
+     which is only possible with [want] runners.  A clamped pool fails
+     the reached-check after the bounded spin instead of hanging. *)
+  let running = Atomic.make 0 in
+  let reached =
+    Pool.parallel_map ~jobs:want
+      (fun _ ->
+        ignore (Atomic.fetch_and_add running 1);
+        let budget = ref 2_000_000_000 in
+        while Atomic.get running < want && !budget > 0 do
+          decr budget;
+          Domain.cpu_relax ()
+        done;
+        Atomic.get running >= want)
+      (Array.make want ())
+  in
+  Pool.set_jobs None;
+  check int "pool grew" want (Pool.pool_size ());
+  check bool "all runners live concurrently" true
+    (Array.for_all Fun.id reached)
+
+let test_concurrent_cache_misses () =
+  (* Query_system.result_set on tuples outside [params] writes the shared
+     memo: hammer one fresh (non-precomputed) system from many domains and
+     compare against a cold sequential reference.  Under WMARK_JOBS>=2 the
+     unguarded hashtable version of this crashes or corrupts. *)
+  let ws = Random_struct.travel (Wm_util.Prng.create 11) ~travels:6 ~transports:18 in
+  let q = Random_struct.travel_query in
+  let g = ws.Weighted.graph in
+  let probes =
+    Array.of_list (Neighborhood.all_tuples g ~arity:1)
+  in
+  let reference =
+    let qs = Query_system.of_relational g q in
+    Array.map (fun a -> Query_system.result_set qs a) probes
+  in
+  List.iter
+    (fun j ->
+      let qs = Query_system.of_relational g q in
+      (* every domain asks every probe, all misses at first *)
+      let got =
+        Pool.parallel_map ~jobs:j
+          (fun _ -> Array.map (fun a -> Query_system.result_set qs a) probes)
+          (Array.make (2 * j) ())
+      in
+      Array.iter
+        (fun per_domain ->
+          check bool
+            (Printf.sprintf "jobs=%d all result sets agree" j)
+            true
+            (Array.for_all2 Tuple.Set.equal reference per_domain))
+        got)
+    job_counts
+
 (* --- exceptions ------------------------------------------------------ *)
 
 exception Boom of int
@@ -239,6 +302,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_map_list_order;
     ("nested batches do not deadlock", `Quick, test_nested_batches);
     ("set_jobs round-trip", `Quick, test_set_jobs_roundtrip);
+    ("pool grows on demand", `Quick, test_pool_grows_on_demand);
+    ("concurrent cache misses agree", `Quick, test_concurrent_cache_misses);
     ("a raising task propagates its exception", `Quick, test_exception_propagates);
     ("the pool survives a failed batch", `Quick, test_pool_survives_failure);
     QCheck_alcotest.to_alcotest prop_index_deterministic;
