@@ -1456,13 +1456,84 @@ let e21 () =
     (Structure.size grid)
 
 (* ------------------------------------------------------------------ *)
+(* E22 — observability: what the wm_obs layer costs on the two heaviest
+   workloads of E20/E21, and the per-phase breakdown it buys.  Each
+   workload is timed best-of-3 with collection off, then best-of-3 with
+   collection on; the acceptance bar is overhead below 5% on the E21
+   index workload.  The enable flag is process-global, so run this
+   experiment alone (bench e22) for clean numbers — under parallel
+   dispatch the off-phase would also silence concurrent experiments. *)
+
+let e22 () =
+  header "E22. Observability overhead and per-phase breakdown";
+  let best_of n f =
+    let best = ref infinity in
+    for _ = 1 to n do
+      let (), dt = secs f in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  (* Workload A: the E21 full index of the 40x40 grid. *)
+  let grid = (Grid.structure ~w:40 ~h:40).Weighted.graph in
+  let index () = ignore (Neighborhood.index_universe grid ~rho:2 ~arity:1) in
+  (* Workload B: the E20 attack grid at redundancy 5. *)
+  let wsb = Random_struct.travel (Prng.create 19) ~travels:100 ~transports:400 in
+  let attack () =
+    match
+      Attack_suite.run ~seed:19 ~redundancies:[ 5 ] ~message_bits:4 wsb
+        Random_struct.travel_query
+    with
+    | Ok _ -> ()
+    | Error e -> failwith ("e22: " ^ e)
+  in
+  let was = Obs.enabled () in
+  let t = Texttab.create [ "workload"; "off s"; "on s"; "overhead"; "< 5%" ] in
+  let measure name f =
+    Obs.set_enabled false;
+    let off = best_of 3 f in
+    Obs.set_enabled true;
+    let since = Obs.snapshot () in
+    let on = best_of 3 f in
+    let d = Obs.diff ~since (Obs.snapshot ()) in
+    let pct = (on -. off) /. off *. 100. in
+    Texttab.addf t "%s|%.3f|%.3f|%+.1f%%|%s" name off on pct
+      (if pct < 5. then "yes" else "NO");
+    record_scalars ~experiment:"e22"
+      [
+        (name ^ "_off_wall_s", Json.Float off);
+        (name ^ "_on_wall_s", Json.Float on);
+        (name ^ "_overhead_pct", Json.Float pct);
+      ];
+    (d, pct)
+  in
+  let di, pi = measure "ntp-index" index in
+  let da, _ = measure "attack-grid" attack in
+  Obs.set_enabled was;
+  Texttab.print t;
+  print_newline ();
+  print_endline "per-phase breakdown — ntp-index (grid 40x40, 3 runs):";
+  print_string (Obs_report.render di);
+  print_newline ();
+  print_endline "per-phase breakdown — attack grid (R=5, 3 runs):";
+  print_string (Obs_report.render da);
+  record_scalars ~experiment:"e22"
+    [ ("overhead_below_5pct", Json.Bool (pi < 5.0)) ];
+  print_newline ();
+  print_endline
+    "Recording is one domain-local increment per event, so the counters\n\
+     are near-free; the timers/spans cost two clock reads per call.  The\n\
+     acceptance bar (ntp-index overhead < 5%) is recorded as\n\
+     overhead_below_5pct."
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
-    ("e19", e19); ("e20", e20); ("e21", e21);
+    ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22);
   ]
 
 let () =
@@ -1475,6 +1546,10 @@ let () =
   in
   let args, jobs_arg, json_path = parse [] None None args in
   (match jobs_arg with Some _ -> Par.set_jobs jobs_arg | None -> ());
+  (* A trajectory file always carries the counters: flip collection on
+     unless the user explicitly opted out with WMARK_STATS=0. *)
+  if json_path <> None && Sys.getenv_opt "WMARK_STATS" <> Some "0" then
+    Obs.set_enabled true;
   let no_speed = List.mem "--no-speed" args in
   let wanted = List.filter (fun a -> a <> "--no-speed") args in
   let to_run =
@@ -1492,11 +1567,19 @@ let () =
   let t0 = Unix.gettimeofday () in
   let results =
     if Par.jobs () <= 1 then
-      (* sequential: stream straight to stdout *)
+      (* sequential: stream straight to stdout.  Counter deltas are
+         attributable per experiment only here — under parallel dispatch
+         concurrent experiments share the cells, so the trajectory file
+         then carries one global snapshot instead. *)
       List.map
         (fun (id, f) ->
+          let since = Obs.snapshot () in
           let (), dt = secs f in
-          (id, None, dt))
+          let obs =
+            if Obs.enabled () then Some (Obs.diff ~since (Obs.snapshot ()))
+            else None
+          in
+          (id, None, dt, obs))
         to_run
     else
       (* parallel: one pool task per experiment, output captured
@@ -1511,11 +1594,11 @@ let () =
               ~finally:(fun () -> Domain.DLS.set sink prev)
               (fun () -> secs f)
           in
-          (id, Some (Buffer.contents b), dt))
+          (id, Some (Buffer.contents b), dt, None))
         to_run
   in
   List.iter
-    (fun (_, captured, _) ->
+    (fun (_, captured, _, _) ->
       match captured with Some s -> Stdlib.print_string s | None -> ())
     results;
   if (not no_speed) && wanted = [] then Speed.run ();
@@ -1524,24 +1607,50 @@ let () =
   | Some path ->
       let experiments_json =
         List.map
-          (fun (id, _, dt) ->
+          (fun (id, _, dt, obs) ->
             Json.Obj
               ([ ("id", Json.String id); ("wall_s", Json.Float dt) ]
+              @ (match Hashtbl.find_opt scalars id with
+                | Some r -> [ ("scalars", Json.Obj !r) ]
+                | None -> [])
               @
-              match Hashtbl.find_opt scalars id with
-              | Some r -> [ ("scalars", Json.Obj !r) ]
+              match obs with
+              | Some d ->
+                  [
+                    ( "obs",
+                      Json.Obj
+                        [
+                          ("counters", Obs_report.counters_json d);
+                          ("timers", Obs_report.timers_json d);
+                        ] );
+                  ]
               | None -> []))
           results
       in
+      let global_obs =
+        if Obs.enabled () then begin
+          let s = Obs.snapshot () in
+          [
+            ( "obs",
+              Json.Obj
+                [
+                  ("counters", Obs_report.counters_json s);
+                  ("timers", Obs_report.timers_json s);
+                ] );
+          ]
+        end
+        else []
+      in
       Json.to_file path
         (Json.Obj
-           [
-             ("schema", Json.String "qpwm-bench/1");
-             ("pr", Json.Int 3);
-             ("jobs", Json.Int (Par.jobs ()));
-             ("pool_size", Json.Int (Par.pool_size ()));
-             ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));
-             ("experiments", Json.List experiments_json);
-           ]);
+           ([
+              ("schema", Json.String "qpwm-bench/1");
+              ("pr", Json.Int 4);
+              ("jobs", Json.Int (Par.jobs ()));
+              ("pool_size", Json.Int (Par.pool_size ()));
+              ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));
+              ("experiments", Json.List experiments_json);
+            ]
+           @ global_obs));
       Stdlib.Printf.printf "\nwrote %s\n" path);
   Printf.printf "\ntotal: %.1f s (wall)\n" (Unix.gettimeofday () -. t0)

@@ -14,6 +14,7 @@
      wmark perturb marked.txt -q "Route(u,v)" --kind delete --fraction 0.2 -o att.txt
      wmark attack db.txt -q "Route(u,v)" --bits 4 --redundancy 5 --csv grid.csv
      wmark attack --jobs 4 --json grid.json   # generated workload, 4 domains
+     wmark attack --stats --trace-json trace.json   # counters + trace spans
      wmark capacity small.txt -q "E(u,v)" --cond le --d 1
      wmark gen-school --students 40 -o school.xml
      wmark xml-mark school.xml -p "school/student[firstname=$a]/exam" \
@@ -64,6 +65,37 @@ let set_jobs = function
       failwith (Printf.sprintf "--jobs %d: must be a positive worker count" j)
   | Some _ as j -> Par.set_jobs j
   | None -> ()
+
+let stats_term =
+  let doc =
+    "Collect counters/timers while running and print the table afterwards \
+     (same as setting $(b,WMARK_STATS=1))."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let trace_term =
+  let doc =
+    "Write the full observability snapshot — counters, timers and trace \
+     spans — as qpwm-trace/1 JSON to $(docv).  Implies collection."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
+
+(* Run [f] with collection on when requested; report afterwards even if
+   [f] raises, so a failing run still shows where the time went. *)
+let with_obs ~stats ~trace f =
+  if stats || trace <> None then Obs.set_enabled true;
+  let report () =
+    if stats || trace <> None then begin
+      let snap = Obs.snapshot () in
+      if stats then print_string (Obs_report.render snap);
+      match trace with
+      | None -> ()
+      | Some out ->
+          Json.to_file out (Obs_report.trace_json snap);
+          Printf.printf "wrote %s\n" out
+    end
+  in
+  Fun.protect ~finally:report f
 
 let out_term =
   let doc = "Output file." in
@@ -124,9 +156,10 @@ let handle f =
 (* info *)
 
 let info_cmd =
-  let run file query params results rho epsilon seed jobs =
+  let run file query params results rho epsilon seed jobs stats trace =
     handle @@ fun () ->
     set_jobs jobs;
+    with_obs ~stats ~trace @@ fun () ->
     let _, _, scheme =
       prepare_scheme file ~query ~params ~results ~rho ~epsilon ~seed
     in
@@ -146,14 +179,16 @@ let info_cmd =
     (Cmd.info "info" ~doc:"Report a scheme's capacity and certificates.")
     Term.(
       const run $ file $ query_term $ params_term $ results_term $ rho_term
-      $ epsilon_term $ seed_term $ jobs_term)
+      $ epsilon_term $ seed_term $ jobs_term $ stats_term $ trace_term)
 
 (* mark *)
 
 let mark_cmd =
-  let run file query params results rho epsilon seed jobs message bits out =
+  let run file query params results rho epsilon seed jobs stats trace message
+      bits out =
     handle @@ fun () ->
     set_jobs jobs;
+    with_obs ~stats ~trace @@ fun () ->
     let ws, _, scheme =
       prepare_scheme file ~query ~params ~results ~rho ~epsilon ~seed
     in
@@ -171,15 +206,17 @@ let mark_cmd =
     (Cmd.info "mark" ~doc:"Embed a message into a weighted structure.")
     Term.(
       const run $ file $ query_term $ params_term $ results_term $ rho_term
-      $ epsilon_term $ seed_term $ jobs_term $ message_term $ bits_term
-      $ out_term)
+      $ epsilon_term $ seed_term $ jobs_term $ stats_term $ trace_term
+      $ message_term $ bits_term $ out_term)
 
 (* detect *)
 
 let detect_cmd =
-  let run original suspect query params results rho epsilon seed jobs bits =
+  let run original suspect query params results rho epsilon seed jobs stats
+      trace bits =
     handle @@ fun () ->
     set_jobs jobs;
+    with_obs ~stats ~trace @@ fun () ->
     let ws, _, scheme =
       prepare_scheme original ~query ~params ~results ~rho ~epsilon ~seed
     in
@@ -197,15 +234,18 @@ let detect_cmd =
     (Cmd.info "detect" ~doc:"Read a mark back from a suspect copy.")
     Term.(
       const run $ original $ suspect $ query_term $ params_term $ results_term
-      $ rho_term $ epsilon_term $ seed_term $ jobs_term $ bits_term)
+      $ rho_term $ epsilon_term $ seed_term $ jobs_term $ stats_term
+      $ trace_term $ bits_term)
 
 (* update — apply an edit script, reindex incrementally, report the
    Theorem 7/8 keep-vs-remark decision *)
 
 let update_cmd =
-  let run file edits_path query params results rho epsilon seed jobs out =
+  let run file edits_path query params results rho epsilon seed jobs stats
+      trace out =
     handle @@ fun () ->
     set_jobs jobs;
+    with_obs ~stats ~trace @@ fun () ->
     let ws, q, scheme =
       prepare_scheme file ~query ~params ~results ~rho ~epsilon ~seed
     in
@@ -282,7 +322,8 @@ let update_cmd =
           (Theorem 8).")
     Term.(
       const run $ file $ edits $ query_term $ params_term $ results_term
-      $ rho_term $ epsilon_term $ seed_term $ jobs_term $ out)
+      $ rho_term $ epsilon_term $ seed_term $ jobs_term $ stats_term
+      $ trace_term $ out)
 
 (* capacity *)
 
@@ -375,10 +416,11 @@ let perturb_cmd =
 (* attack — the full survivability grid *)
 
 let attack_cmd =
-  let run file query params results rho epsilon seed jobs bits redundancies csv
-      json =
+  let run file query params results rho epsilon seed jobs stats trace bits
+      redundancies csv json =
     handle @@ fun () ->
     set_jobs jobs;
+    with_obs ~stats ~trace @@ fun () ->
     let ws, workload =
       match file with
       | Some f -> (Textio.load f, f)
@@ -435,8 +477,8 @@ let attack_cmd =
           (weight-level and structural), realign, detect.")
     Term.(
       const run $ file $ query_dflt $ params_term $ results_term $ rho_term
-      $ epsilon_term $ seed_term $ jobs_term $ bits $ redundancies $ csv
-      $ json)
+      $ epsilon_term $ seed_term $ jobs_term $ stats_term $ trace_term $ bits
+      $ redundancies $ csv $ json)
 
 (* multi-query mark/detect: -q can be repeated; all queries share the
    default u/v variable convention. *)
@@ -449,9 +491,11 @@ let parse_queries ~queries ~params ~results =
   List.map (fun query -> parse_query ~query ~params ~results) queries
 
 let multi_mark_cmd =
-  let run file queries params results rho epsilon seed jobs message bits out =
+  let run file queries params results rho epsilon seed jobs stats trace message
+      bits out =
     handle @@ fun () ->
     set_jobs jobs;
+    with_obs ~stats ~trace @@ fun () ->
     let ws = Textio.load file in
     let qs = parse_queries ~queries ~params ~results in
     let options = { Local_scheme.seed; rho; epsilon; selection = `Greedy } in
@@ -475,13 +519,15 @@ let multi_mark_cmd =
        ~doc:"Embed a message while preserving several queries at once.")
     Term.(
       const run $ file $ queries_term $ params_term $ results_term $ rho_term
-      $ epsilon_term $ seed_term $ jobs_term $ message_term $ bits_term
-      $ out_term)
+      $ epsilon_term $ seed_term $ jobs_term $ stats_term $ trace_term
+      $ message_term $ bits_term $ out_term)
 
 let multi_detect_cmd =
-  let run original suspect queries params results rho epsilon seed jobs bits =
+  let run original suspect queries params results rho epsilon seed jobs stats
+      trace bits =
     handle @@ fun () ->
     set_jobs jobs;
+    with_obs ~stats ~trace @@ fun () ->
     let ws = Textio.load original in
     let sus = Textio.load suspect in
     let qs = parse_queries ~queries ~params ~results in
@@ -504,7 +550,7 @@ let multi_detect_cmd =
     Term.(
       const run $ original $ suspect $ queries_term $ params_term
       $ results_term $ rho_term $ epsilon_term $ seed_term $ jobs_term
-      $ bits_term)
+      $ stats_term $ trace_term $ bits_term)
 
 (* vc *)
 

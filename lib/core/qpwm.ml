@@ -4,6 +4,8 @@
 
     - {!Prng}, {!Bitvec}, {!Codec}, {!Stats}, {!Texttab}, {!Json}:
       utilities;
+    - {!Obs}, {!Obs_report}: observability — counters, timers and trace
+      spans ([WMARK_STATS] / [--stats] / [--trace-json] control);
     - {!Par}: the multicore execution engine (domain pool, deterministic
       parallel combinators, [WMARK_JOBS] / [--jobs] control);
     - {!Tuple}, {!Schema}, {!Relation}, {!Structure}, {!Weighted},
@@ -27,6 +29,10 @@ module Codec = Wm_util.Codec
 module Stats = Wm_util.Stats
 module Texttab = Wm_util.Texttab
 module Json = Wm_util.Json
+
+(* observability: counters, timers, trace spans (see lib/obs) *)
+module Obs = Wm_obs.Obs
+module Obs_report = Wm_util.Obs_report
 
 (* multicore execution engine *)
 module Par = Wm_par.Pool

@@ -1,0 +1,244 @@
+(* Counters, timers and trace spans with per-domain accumulation.
+
+   Shape of the data: every handle owns a registry of per-domain cells.
+   A domain's first touch of a handle allocates its private cell (via
+   Domain.DLS) and registers it — the only mutex-protected operation —
+   after which all recording is a plain write to domain-local memory.
+   [snapshot] walks the registries and merges.
+
+   Nothing here is transactional: a snapshot taken while other domains
+   record sees each cell at some recent value, which is exactly what a
+   progress report needs and all it promises. *)
+
+let enabled_flag =
+  Atomic.make
+    (match Sys.getenv_opt "WMARK_STATS" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true)
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* One mutex for all registration and snapshot traffic; recording never
+   takes it. *)
+let registry_mu = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mu) f
+
+let now =
+  let t0 = Unix.gettimeofday () in
+  fun () -> Unix.gettimeofday () -. t0
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+type counter = {
+  c_name : string;
+  c_cells : int ref list ref;  (* under [registry_mu] *)
+  c_key : int ref Domain.DLS.key;
+}
+
+let counters : counter list ref = ref []
+
+let counter name =
+  let cells = ref [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let r = ref 0 in
+        with_registry (fun () -> cells := r :: !cells);
+        r)
+  in
+  let c = { c_name = name; c_cells = cells; c_key = key } in
+  with_registry (fun () -> counters := c :: !counters);
+  c
+
+let add c n = if Atomic.get enabled_flag then begin
+    let r = Domain.DLS.get c.c_key in
+    r := !r + n
+  end
+
+let incr c = add c 1
+
+(* ------------------------------------------------------------------ *)
+(* Timers *)
+
+type timer_cell = { mutable t_calls : int; mutable t_secs : float }
+
+type timer = {
+  t_name : string;
+  t_cells : timer_cell list ref;
+  t_key : timer_cell Domain.DLS.key;
+}
+
+let timers : timer list ref = ref []
+
+let timer name =
+  let cells = ref [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let c = { t_calls = 0; t_secs = 0. } in
+        with_registry (fun () -> cells := c :: !cells);
+        c)
+  in
+  let t = { t_name = name; t_cells = cells; t_key = key } in
+  with_registry (fun () -> timers := t :: !timers);
+  t
+
+let charge t dt =
+  let c = Domain.DLS.get t.t_key in
+  c.t_calls <- c.t_calls + 1;
+  c.t_secs <- c.t_secs +. dt
+
+let time t f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let t0 = now () in
+    Fun.protect ~finally:(fun () -> charge t (now () -. t0)) f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+type span_event = {
+  sp_name : string;
+  sp_detail : string option;
+  sp_domain : int;
+  sp_depth : int;
+  sp_start : float;
+  sp_dur : float;
+}
+
+(* Per-domain event buffer plus nesting depth; buffers are registered
+   like counter cells. *)
+type span_cell = { mutable events : span_event list; mutable depth : int }
+
+let span_cells : span_cell list ref = ref []
+
+let span_key =
+  Domain.DLS.new_key (fun () ->
+      let c = { events = []; depth = 0 } in
+      with_registry (fun () -> span_cells := c :: !span_cells);
+      c)
+
+let span ?detail t f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let cell = Domain.DLS.get span_key in
+    let depth = cell.depth in
+    cell.depth <- depth + 1;
+    let t0 = now () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = now () -. t0 in
+        cell.depth <- depth;
+        cell.events <-
+          {
+            sp_name = t.t_name;
+            sp_detail = detail;
+            sp_domain = (Domain.self () :> int);
+            sp_depth = depth;
+            sp_start = t0;
+            sp_dur = dt;
+          }
+          :: cell.events;
+        charge t dt)
+      f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+type timer_total = { calls : int; seconds : float }
+
+type snapshot = {
+  taken : float;
+  counters : (string * int) list;
+  timers : (string * timer_total) list;
+  spans : span_event list;
+}
+
+module Smap = Map.Make (String)
+
+let snapshot () =
+  with_registry (fun () ->
+      let cs =
+        List.fold_left
+          (fun m c ->
+            let v = List.fold_left (fun acc r -> acc + !r) 0 !(c.c_cells) in
+            Smap.update c.c_name
+              (fun prev -> Some (Option.value ~default:0 prev + v))
+              m)
+          Smap.empty !counters
+      in
+      let ts =
+        List.fold_left
+          (fun m t ->
+            let v =
+              List.fold_left
+                (fun acc c ->
+                  { calls = acc.calls + c.t_calls; seconds = acc.seconds +. c.t_secs })
+                { calls = 0; seconds = 0. }
+                !(t.t_cells)
+            in
+            Smap.update t.t_name
+              (fun prev ->
+                let p = Option.value ~default:{ calls = 0; seconds = 0. } prev in
+                Some { calls = p.calls + v.calls; seconds = p.seconds +. v.seconds })
+              m)
+          Smap.empty !timers
+      in
+      let sps =
+        List.concat_map (fun c -> c.events) !span_cells
+        |> List.sort (fun a b ->
+               compare
+                 (a.sp_start, a.sp_domain, a.sp_name)
+                 (b.sp_start, b.sp_domain, b.sp_name))
+      in
+      {
+        taken = now ();
+        counters = Smap.bindings (Smap.filter (fun _ v -> v <> 0) cs);
+        timers = Smap.bindings (Smap.filter (fun _ v -> v.calls <> 0) ts);
+        spans = sps;
+      })
+
+let diff ~since current =
+  let base = Smap.of_seq (List.to_seq since.counters) in
+  let counters =
+    List.filter_map
+      (fun (k, v) ->
+        let d = v - Option.value ~default:0 (Smap.find_opt k base) in
+        if d = 0 then None else Some (k, d))
+      current.counters
+  in
+  let tbase = Smap.of_seq (List.to_seq since.timers) in
+  let timers =
+    List.filter_map
+      (fun (k, v) ->
+        let p =
+          Option.value ~default:{ calls = 0; seconds = 0. } (Smap.find_opt k tbase)
+        in
+        let d = { calls = v.calls - p.calls; seconds = v.seconds -. p.seconds } in
+        if d.calls = 0 then None else Some (k, d))
+      current.timers
+  in
+  {
+    taken = current.taken;
+    counters;
+    timers;
+    spans = List.filter (fun e -> e.sp_start >= since.taken) current.spans;
+  }
+
+let reset () =
+  with_registry (fun () ->
+      List.iter (fun c -> List.iter (fun r -> r := 0) !(c.c_cells)) !counters;
+      List.iter
+        (fun t ->
+          List.iter
+            (fun c ->
+              c.t_calls <- 0;
+              c.t_secs <- 0.)
+            !(t.t_cells))
+        !timers;
+      List.iter (fun c -> c.events <- []) !span_cells)

@@ -6,6 +6,17 @@
    parallel phase.  The job count therefore only decides how the index
    range is chunked over domains, never what is computed. *)
 
+(* Observability (DESIGN.md 5.8): how much work the pool moved, how much
+   of it the callers stole back while waiting, and how long batch owners
+   sat in Condition.wait.  All no-ops unless Wm_obs.Obs is enabled. *)
+module Obs = Wm_obs.Obs
+
+let c_tasks_enqueued = Obs.counter "pool.tasks_enqueued"
+let c_tasks_helped = Obs.counter "pool.tasks_helped"
+let c_batches = Obs.counter "pool.batches"
+let c_domains_spawned = Obs.counter "pool.domains_spawned"
+let t_batch_wait = Obs.timer "pool.batch_wait"
+
 (* ------------------------------------------------------------------ *)
 (* Job-count resolution: ?jobs argument > set_jobs > WMARK_JOBS > hw. *)
 
@@ -112,6 +123,7 @@ let get_pool ~want () =
         in
         p.domains <-
           List.init (runners - 1) (fun _ -> Domain.spawn (fun () -> worker_loop p));
+        Obs.add c_domains_spawned (runners - 1);
         at_exit (fun () -> shutdown p);
         the_pool := Some p;
         p
@@ -121,6 +133,7 @@ let get_pool ~want () =
       List.init (want - p.runners) (fun _ ->
           Domain.spawn (fun () -> worker_loop p))
       @ p.domains;
+    Obs.add c_domains_spawned (want - p.runners);
     p.runners <- want
   end;
   Mutex.unlock spawn_mutex;
@@ -169,22 +182,26 @@ let run_tasks p (tasks : task array) =
   Array.iter (fun t -> Queue.push (wrap t) p.queue) tasks;
   Condition.broadcast p.nonempty;
   Mutex.unlock p.m;
+  Obs.incr c_batches;
+  Obs.add c_tasks_enqueued (Array.length tasks);
   (* Help: the caller is a runner too.  It may execute tasks of other
      in-flight batches (nested sections); wrapped tasks never raise, so
      helping is exception-free. *)
   let rec help () =
     match try_pop p with
     | Some t ->
+        Obs.incr c_tasks_helped;
         t ();
         help ()
     | None -> ()
   in
   help ();
-  Mutex.lock b.bm;
-  while b.remaining > 0 do
-    Condition.wait b.bdone b.bm
-  done;
-  Mutex.unlock b.bm;
+  Obs.time t_batch_wait (fun () ->
+      Mutex.lock b.bm;
+      while b.remaining > 0 do
+        Condition.wait b.bdone b.bm
+      done;
+      Mutex.unlock b.bm);
   match b.first_exn with
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ()

@@ -4,7 +4,34 @@ type nbh = {
   original : int array;
 }
 
+(* Observability (DESIGN.md 5.8).  The counters decompose the cost claims
+   of E20/E21: how many spheres were extracted by BFS, how many exact
+   isomorphism tests actually ran, and how many the cheap-invariant
+   pre-bucketing avoided (the comparisons a bucket-less scan over all
+   representatives would have performed on top of the in-bucket ones). *)
+module Obs = Wm_obs.Obs
+
+let c_spheres = Obs.counter "nbh.spheres"
+let c_tuples_typed = Obs.counter "nbh.tuples_typed"
+let c_buckets = Obs.counter "nbh.buckets"
+let c_iso_checks = Obs.counter "nbh.iso_checks"
+let c_iso_avoided = Obs.counter "nbh.iso_avoided"
+let c_affected_elements = Obs.counter "nbh.reindex.affected_elements"
+let c_affected_tuples = Obs.counter "nbh.reindex.affected_tuples"
+let c_anchors = Obs.counter "nbh.reindex.anchors"
+let c_fallbacks = Obs.counter "nbh.reindex.threshold_fallbacks"
+let t_index = Obs.timer "nbh.index"
+let t_reindex = Obs.timer "nbh.reindex"
+let t_spheres = Obs.timer "nbh.index.spheres"
+let t_classify = Obs.timer "nbh.index.classify"
+let t_renumber = Obs.timer "nbh.index.renumber"
+
+let iso_check a b =
+  Obs.incr c_iso_checks;
+  Iso.isomorphic a.sub a.center b.sub b.center
+
 let of_tuple g gf ~rho c =
+  Obs.incr c_spheres;
   let sphere = Gaifman.sphere_tuple gf ~rho c in
   (* Put the tuple's own elements first so their new ids are stable. *)
   let sub, original = Structure.induced g (Array.to_list c @ sphere) in
@@ -65,14 +92,17 @@ let distinct_tuples tuples =
     tuples
 
 let index ?jobs g ~rho tuples =
+  Obs.span t_index @@ fun () ->
   let gf = Gaifman.of_structure g in
   let tups = Array.of_list (distinct_tuples tuples) in
   let n = Array.length tups in
   let arity = if n > 0 then Array.length tups.(0) else 0 in
+  Obs.add c_tuples_typed n;
   (* Phase 1 (parallel): materialize every neighborhood and its
      invariants.  Each tuple is independent work over the shared
      immutable structure. *)
   let keyed =
+    Obs.span t_spheres @@ fun () ->
     Wm_par.Pool.parallel_map ?jobs
       (fun c ->
         let nb = of_tuple g gf ~rho c in
@@ -98,6 +128,7 @@ let index ?jobs g ~rho tuples =
          (fun k -> Array.of_list (List.rev !(Hashtbl.find btbl k)))
          !border)
   in
+  Obs.add c_buckets (Array.length buckets);
   (* Phase 3 (parallel): exact classification inside each bucket.
      Buckets are independent; within one bucket the search is the
      sequential scan against the bucket's representatives.  For each
@@ -107,31 +138,42 @@ let index ?jobs g ~rho tuples =
      leader is well defined regardless of search order. *)
   let leader = Array.make n (-1) in
   let classified =
+    Obs.span t_classify @@ fun () ->
     Wm_par.Pool.parallel_map ?jobs
       (fun slots ->
         let reps = ref [] in
-        Array.map
-          (fun i ->
-            let nb, _, _ = keyed.(i) in
-            match
-              List.find_opt
-                (fun (_, rep) ->
-                  Iso.isomorphic nb.sub nb.center rep.sub rep.center)
-                !reps
-            with
-            | Some (l, _) -> l
-            | None ->
-                reps := (i, nb) :: !reps;
-                i)
-          slots)
+        let leaders =
+          Array.map
+            (fun i ->
+              let nb, _, _ = keyed.(i) in
+              match List.find_opt (fun (_, rep) -> iso_check nb rep) !reps with
+              | Some (l, _) -> l
+              | None ->
+                  reps := (i, nb) :: !reps;
+                  i)
+            slots
+        in
+        (leaders, List.length !reps))
       buckets
   in
   Array.iteri
     (fun b slots ->
-      Array.iteri (fun k i -> leader.(i) <- classified.(b).(k)) slots)
+      Array.iteri (fun k i -> leader.(i) <- (fst classified.(b)).(k)) slots)
     buckets;
+  (if Obs.enabled () then
+     (* What pre-bucketing saved: a bucket-less scan compares each tuple
+        against every representative outside its own bucket as well. *)
+     let total_reps =
+       Array.fold_left (fun acc (_, r) -> acc + r) 0 classified
+     in
+     Array.iteri
+       (fun b slots ->
+         Obs.add c_iso_avoided
+           (Array.length slots * (total_reps - snd classified.(b))))
+       buckets);
   (* Phase 4 (sequential): number the classes by first occurrence, which
      reproduces the type ids of the plain sequential fold exactly. *)
+  Obs.span t_renumber @@ fun () ->
   let ty_of_leader = Hashtbl.create 64 in
   let reps = ref [] in
   let next_ty = ref 0 in
@@ -165,18 +207,22 @@ let affected_elements ~old_gf ~gf ~rho ~dirty =
     @ Gaifman.reach gf ~sources:dirty ~bound:rho)
 
 let reindex ?jobs ?(threshold = 0.5) ~old g ~prev ~dirty =
+  Obs.span t_reindex @@ fun () ->
   let rho = prev.rho and arity = prev.arity in
   let old_gf = Gaifman.of_structure old in
   let gf = Gaifman.refresh g ~prev:old_gf ~dirty in
   let n = Structure.size g in
   let affected = affected_elements ~old_gf ~gf ~rho ~dirty in
+  Obs.add c_affected_elements (List.length affected);
   let in_a = Array.make (max n (Structure.size old)) false in
   List.iter (fun x -> in_a.(x) <- true) affected;
   let a_new = List.length (List.filter (fun x -> x < n) affected) in
   let total = float_of_int n ** float_of_int arity in
   let affected_tuples = total -. (float_of_int (n - a_new) ** float_of_int arity) in
-  if total = 0. || affected_tuples > threshold *. total then
+  if total = 0. || affected_tuples > threshold *. total then begin
+    Obs.incr c_fallbacks;
     index_universe ?jobs g ~rho ~arity
+  end
   else begin
     let touches c = Array.exists (fun x -> in_a.(x)) c in
     (* Anchors: for every old type that still has a member untouched by the
@@ -218,9 +264,11 @@ let reindex ?jobs ?(threshold = 0.5) ~old g ~prev ~dirty =
         | Some l -> l := (ty, nb) :: !l
         | None -> Hashtbl.add atbl (ck, cert) (ref [ (ty, nb) ]))
       anchor_keyed;
+    Obs.add c_anchors (Array.length anchors);
     (* Affected tuples, in enumeration order so numbering below matches the
        from-scratch index; everything else keeps its old class. *)
     let at = Array.of_list (List.filter touches (all_tuples g ~arity)) in
+    Obs.add c_affected_tuples (Array.length at);
     let keyed =
       Wm_par.Pool.parallel_map ?jobs
         (fun c ->
@@ -261,7 +309,7 @@ let reindex ?jobs ?(threshold = 0.5) ~old g ~prev ~dirty =
           Array.map
             (fun i ->
               let nb, _, _ = keyed.(i) in
-              let iso (_, r) = Iso.isomorphic nb.sub nb.center r.sub r.center in
+              let iso (_, r) = iso_check nb r in
               match List.find_opt iso anchors_here with
               | Some (ty, _) -> ty
               | None -> (

@@ -1,6 +1,9 @@
 let of_int ~bits n =
-  assert (bits >= 0 && bits <= 62);
-  assert (n >= 0 && (bits = 62 || n < 1 lsl bits));
+  if bits < 0 || bits > 62 then
+    invalid_arg "Codec.of_int: bits must be in [0, 62]";
+  if n < 0 || (bits < 62 && n >= 1 lsl bits) then
+    invalid_arg
+      (Printf.sprintf "Codec.of_int: %d does not fit in %d bits" n bits);
   let v = Bitvec.create bits in
   for i = 0 to bits - 1 do
     Bitvec.set v i ((n lsr i) land 1 = 1)
@@ -8,7 +11,8 @@ let of_int ~bits n =
   v
 
 let to_int v =
-  assert (Bitvec.length v <= 62);
+  if Bitvec.length v > 62 then
+    invalid_arg "Codec.to_int: message longer than 62 bits";
   let n = ref 0 in
   for i = Bitvec.length v - 1 downto 0 do
     n := (!n lsl 1) lor (if Bitvec.get v i then 1 else 0)
@@ -28,7 +32,8 @@ let of_string s =
 
 let to_string v =
   let n = Bitvec.length v in
-  assert (n mod 8 = 0);
+  if n mod 8 <> 0 then
+    invalid_arg "Codec.to_string: length must be a multiple of 8";
   String.init (n / 8) (fun i ->
       let c = ref 0 in
       for b = 7 downto 0 do
@@ -47,7 +52,8 @@ let random g l =
   v
 
 let hamming a b =
-  assert (Bitvec.length a = Bitvec.length b);
+  if Bitvec.length a <> Bitvec.length b then
+    invalid_arg "Codec.hamming: length mismatch";
   Bitvec.popcount (Bitvec.diff (Bitvec.union a b) (Bitvec.inter a b))
 
 let repeat ~times m =
@@ -62,7 +68,9 @@ let repeat ~times m =
 
 let majority_decode ~times v =
   let n = Bitvec.length v in
-  assert (times > 0 && n mod times = 0);
+  if times <= 0 then invalid_arg "Codec.majority_decode: times must be positive";
+  if n mod times <> 0 then
+    invalid_arg "Codec.majority_decode: length not a multiple of times";
   let l = n / times in
   let out = Bitvec.create l in
   for i = 0 to l - 1 do
@@ -70,6 +78,8 @@ let majority_decode ~times v =
     for t = 0 to times - 1 do
       if Bitvec.get v ((t * l) + i) then incr ones
     done;
+    (* strict majority: an even [times] split (ones = times/2) is a tie
+       and decodes to false — the documented bias, not an accident *)
     Bitvec.set out i (2 * !ones > times)
   done;
   out

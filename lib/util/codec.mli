@@ -7,16 +7,19 @@
 
 val of_int : bits:int -> int -> Bitvec.t
 (** [of_int ~bits n] is the little-endian [bits]-long encoding of [n].
-    Requires [0 <= n < 2^bits]. *)
+    Raises [Invalid_argument] unless [0 <= bits <= 62] and
+    [0 <= n < 2^bits]. *)
 
 val to_int : Bitvec.t -> int
-(** Little-endian decoding; requires length <= 62. *)
+(** Little-endian decoding; raises [Invalid_argument] on messages longer
+    than 62 bits. *)
 
 val of_string : string -> Bitvec.t
 (** 8 bits per byte, little-endian within each byte. *)
 
 val to_string : Bitvec.t -> string
-(** Inverse of {!of_string}; requires length divisible by 8. *)
+(** Inverse of {!of_string}; raises [Invalid_argument] unless the length
+    is divisible by 8. *)
 
 val of_bool_list : bool list -> Bitvec.t
 val to_bool_list : Bitvec.t -> bool list
@@ -25,12 +28,16 @@ val random : Prng.t -> int -> Bitvec.t
 (** [random g l] is a uniform message of length [l]. *)
 
 val hamming : Bitvec.t -> Bitvec.t -> int
-(** Number of positions where the two messages differ (equal lengths). *)
+(** Number of positions where the two messages differ; raises
+    [Invalid_argument] on a length mismatch. *)
 
 val repeat : times:int -> Bitvec.t -> Bitvec.t
 (** [repeat ~times m] concatenates [times] copies of [m]: the redundancy
     encoding used by the adversarial (Khanna-Zane style) wrapper. *)
 
 val majority_decode : times:int -> Bitvec.t -> Bitvec.t
-(** Inverse of {!repeat} by per-position majority vote.  The input length
-    must be a multiple of [times]; ties decode to [false]. *)
+(** Inverse of {!repeat} by per-position strict majority vote.  Raises
+    [Invalid_argument] unless [times > 0] and the input length is a
+    multiple of [times].  With an even [times], a position that splits
+    exactly [times/2] vs [times/2] is a tie and decodes to [false]; use
+    odd redundancies when that bias matters. *)

@@ -1,0 +1,85 @@
+module Obs = Wm_obs.Obs
+
+let ms s = s *. 1000.
+
+let render (snap : Obs.snapshot) =
+  let buf = Buffer.create 1024 in
+  if snap.Obs.counters <> [] then begin
+    let t = Texttab.create [ "counter"; "value" ] in
+    List.iter (fun (k, v) -> Texttab.addf t "%s|%d" k v) snap.Obs.counters;
+    Buffer.add_string buf "counters\n";
+    Buffer.add_string buf (Texttab.render t)
+  end;
+  if snap.Obs.timers <> [] then begin
+    let t = Texttab.create [ "timer"; "calls"; "total ms"; "mean ms" ] in
+    List.iter
+      (fun (k, { Obs.calls; seconds }) ->
+        Texttab.addf t "%s|%d|%.2f|%.4f" k calls (ms seconds)
+          (ms seconds /. float_of_int (max 1 calls)))
+      snap.Obs.timers;
+    if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+    Buffer.add_string buf "timers\n";
+    Buffer.add_string buf (Texttab.render t)
+  end;
+  (* Spans aggregated by name: the individual events go to --trace-json;
+     the table answers "where did the time go" at a glance. *)
+  if snap.Obs.spans <> [] then begin
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun e ->
+        match Hashtbl.find_opt tbl e.Obs.sp_name with
+        | Some (n, total) ->
+            Hashtbl.replace tbl e.Obs.sp_name (n + 1, total +. e.Obs.sp_dur)
+        | None ->
+            Hashtbl.add tbl e.Obs.sp_name (1, e.Obs.sp_dur);
+            order := e.Obs.sp_name :: !order)
+      snap.Obs.spans;
+    let t = Texttab.create [ "span"; "events"; "total ms" ] in
+    List.iter
+      (fun name ->
+        let n, total = Hashtbl.find tbl name in
+        Texttab.addf t "%s|%d|%.2f" name n (ms total))
+      (List.rev !order);
+    if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+    Buffer.add_string buf "trace spans (aggregated)\n";
+    Buffer.add_string buf (Texttab.render t)
+  end;
+  if Buffer.length buf = 0 then
+    Buffer.add_string buf
+      "no observations recorded (is stats collection enabled? set \
+       WMARK_STATS=1 or pass --stats)\n";
+  Buffer.contents buf
+
+let counters_json (snap : Obs.snapshot) =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap.Obs.counters)
+
+let timers_json (snap : Obs.snapshot) =
+  Json.Obj
+    (List.map
+       (fun (k, { Obs.calls; seconds }) ->
+         (k, Json.Obj [ ("calls", Json.Int calls); ("seconds", Json.Float seconds) ]))
+       snap.Obs.timers)
+
+let span_json (e : Obs.span_event) =
+  Json.Obj
+    ([ ("name", Json.String e.Obs.sp_name) ]
+    @ (match e.Obs.sp_detail with
+      | Some d -> [ ("detail", Json.String d) ]
+      | None -> [])
+    @ [
+        ("domain", Json.Int e.Obs.sp_domain);
+        ("depth", Json.Int e.Obs.sp_depth);
+        ("start_s", Json.Float e.Obs.sp_start);
+        ("dur_s", Json.Float e.Obs.sp_dur);
+      ])
+
+let trace_json (snap : Obs.snapshot) =
+  Json.Obj
+    [
+      ("schema", Json.String "qpwm-trace/1");
+      ("taken_s", Json.Float snap.Obs.taken);
+      ("counters", counters_json snap);
+      ("timers", timers_json snap);
+      ("spans", Json.List (List.map span_json snap.Obs.spans));
+    ]

@@ -1,0 +1,21 @@
+(** Rendering for {!Wm_obs.Obs} snapshots: the human-readable [--stats]
+    table and the machine-readable [qpwm-trace/1] JSON document. *)
+
+val render : Wm_obs.Obs.snapshot -> string
+(** Counters and timers as {!Texttab} tables (counters sorted by name;
+    timers with call counts, totals and per-call means), followed by a
+    per-name aggregation of trace spans.  Empty sections are omitted;
+    an entirely empty snapshot renders a short hint instead. *)
+
+val counters_json : Wm_obs.Obs.snapshot -> Json.t
+(** Just the counters, as a flat object — what the bench harness embeds
+    per experiment into BENCH_PR*.json. *)
+
+val timers_json : Wm_obs.Obs.snapshot -> Json.t
+(** Timers as [{name: {calls, seconds}}]. *)
+
+val trace_json : Wm_obs.Obs.snapshot -> Json.t
+(** The full snapshot under schema [qpwm-trace/1]: counters, timers and
+    the individual span events ([name], optional [detail], [domain],
+    [depth], [start_s], [dur_s] — starts are seconds since process
+    start). *)

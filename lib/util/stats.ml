@@ -29,12 +29,15 @@ let quantile q a =
 
 let imean a = mean (Array.map float_of_int a)
 
-let imax a = Array.fold_left max 0 a
+let imax a =
+  (* Seed with a.(0), not 0: folding from 0 silently clamps all-negative
+     inputs to 0. *)
+  if Array.length a = 0 then 0 else Array.fold_left max a.(0) a
 
 let rate num den = if den = 0 then 0. else float_of_int num /. float_of_int den
 
 let histogram ~bins a =
-  assert (bins > 0);
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
   if Array.length a = 0 then [||]
   else
     let lo, hi = min_max a in

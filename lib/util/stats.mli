@@ -19,13 +19,17 @@ val quantile : float -> float array -> float
 (** [quantile q a] with [0 <= q <= 1]; nearest-rank on a sorted copy. *)
 
 val imean : int array -> float
+
 val imax : int array -> int
-(** [imax] of an empty array is 0 (all our uses measure non-negative
-    distortions, where 0 is the correct neutral element). *)
+(** Largest element; [imax] of an empty array is 0 (all our uses measure
+    non-negative distortions, where 0 is the correct neutral element).
+    On non-empty input the true maximum is returned even when every
+    element is negative. *)
 
 val rate : int -> int -> float
 (** [rate num den] is [num/den] as a float, 0. when [den = 0]. *)
 
 val histogram : bins:int -> float array -> (float * float * int) array
 (** [histogram ~bins a] splits the value range into [bins] equal intervals
-    and returns [(lo, hi, count)] per bin. *)
+    and returns [(lo, hi, count)] per bin.  Raises [Invalid_argument] when
+    [bins <= 0]. *)

@@ -1,3 +1,11 @@
+(* Observability: one trace span per grid cell (the unit the pool
+   schedules), annotated with the cell's attack and redundancy so
+   --trace-json shows where the grid's wall time went. *)
+module Obs = Wm_obs.Obs
+
+let c_cells = Obs.counter "attack.cells"
+let t_cell = Obs.timer "attack.cell"
+
 type spec =
   | Weights of Adversary.attack
   | Structural of Adversary.structural
@@ -158,7 +166,14 @@ let run ?jobs ?(options = Local_scheme.default_options) ?(seed = 0xA77AC)
             type_drift;
           }
         in
-        let rows = Wm_par.Pool.map_list ?jobs run_cell cells in
+        let timed_cell ((times, _, _, _, spec) as cell) =
+          Obs.incr c_cells;
+          Obs.span
+            ~detail:(Printf.sprintf "%s R=%d" (describe_spec spec) times)
+            t_cell
+            (fun () -> run_cell cell)
+        in
+        let rows = Wm_par.Pool.map_list ?jobs timed_cell cells in
         Ok
           {
             workload =

@@ -1,3 +1,13 @@
+(* Observability: how many carriers each read classified, and how the
+   classifications split — the per-phase cost the detector contributes to
+   an attack-grid cell. *)
+module Obs = Wm_obs.Obs
+
+let c_reads = Obs.counter "det.reads"
+let c_carriers = Obs.counter "det.carriers"
+let c_erased = Obs.counter "det.erased"
+let t_read = Obs.timer "det.read"
+
 type verdict = {
   decoded : Bitvec.t;
   erasure : Bitvec.t;
@@ -31,6 +41,9 @@ let classify_carrier ~original ~observed { Pairing.fst; snd } =
 let read ?jobs pairs ~original ~observed ~length =
   if length > List.length pairs then
     invalid_arg "Detector.read: length exceeds pair count";
+  Obs.time t_read @@ fun () ->
+  Obs.incr c_reads;
+  Obs.add c_carriers length;
   let carriers =
     (* parallel phase: each carrier is classified on its own; the
        sequential accumulation below is in index order, so the verdict
@@ -55,6 +68,7 @@ let read ?jobs pairs ~original ~observed ~length =
           | `Weak -> incr weak
           | `Silent -> incr silent))
     carriers;
+  Obs.add c_erased !erased;
   let read_count = length - !erased in
   {
     decoded;
@@ -88,8 +102,14 @@ let log_choose n k =
   !acc
 
 let binomial_tail_p ~p ~trials ~successes =
+  (* The negated comparison also rejects NaN, which every [<] test lets
+     through. *)
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg "Detector.binomial_tail_p: p must be in [0, 1]";
   if successes <= 0 then 1.
   else if successes > trials then 0.
+  else if p = 0. then 0. (* no success is ever drawn *)
+  else if p = 1. then 1. (* log (1 - p) = -inf; 0 * -inf = nan at k = trials *)
   else begin
     let lp = log p and lq = log (1. -. p) in
     let total = ref 0. in

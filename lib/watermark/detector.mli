@@ -53,7 +53,10 @@ val binomial_tail : trials:int -> successes:int -> float
     p-value of observing that much sign agreement by chance. *)
 
 val binomial_tail_p : p:float -> trials:int -> successes:int -> float
-(** General-[p] upper tail. *)
+(** General-[p] upper tail.  Raises [Invalid_argument] unless
+    [0 <= p <= 1] (NaN included); the degenerate endpoints are exact:
+    [p = 0] gives 0 and [p = 1] gives 1 for any satisfiable
+    [0 < successes <= trials]. *)
 
 val match_pvalue : expected:Bitvec.t -> verdict -> float
 (** p-value of the decoded message agreeing with [expected] as much as it

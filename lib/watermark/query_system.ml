@@ -1,3 +1,15 @@
+(* Observability: the memoization behavior of [result_set] (frozen-map
+   hits vs. mutex-guarded cache hits vs. full evaluations) and the reach
+   of edit-scoped refreshes. *)
+module Obs = Wm_obs.Obs
+
+let c_frozen_hits = Obs.counter "qs.frozen_hits"
+let c_cache_hits = Obs.counter "qs.cache_hits"
+let c_misses = Obs.counter "qs.misses"
+let c_refreshes = Obs.counter "qs.refreshes"
+let c_refresh_kept = Obs.counter "qs.refresh_kept"
+let c_refresh_candidates = Obs.counter "qs.refresh_candidates"
+
 type t = {
   params : Tuple.t list;
   result_fn : Tuple.t -> Tuple.Set.t;
@@ -38,18 +50,22 @@ let weight_arity t = t.weight_arity
 
 let result_set t a =
   match Tuple.Map.find_opt a t.frozen with
-  | Some s -> s
+  | Some s ->
+      Obs.incr c_frozen_hits;
+      s
   | None -> (
       Mutex.lock t.lock;
       match Tuple.Hashtbl.find_opt t.cache a with
       | Some s ->
           Mutex.unlock t.lock;
+          Obs.incr c_cache_hits;
           s
       | None ->
           (* Evaluate outside the lock: [result_fn] is deterministic, so a
              racing domain computing the same miss stores the same set and
              either store may win. *)
           Mutex.unlock t.lock;
+          Obs.incr c_misses;
           let s = t.result_fn a in
           Mutex.lock t.lock;
           Tuple.Hashtbl.replace t.cache a s;
@@ -84,6 +100,7 @@ let precompute t =
 (* --- edit-scoped refresh --------------------------------------------- *)
 
 let refresh t ~result_fn ~holds ~params ~size ~affected =
+  Obs.incr c_refreshes;
   let in_a = Array.make (max size 1) false in
   List.iter (fun x -> if x >= 0 && x < size then in_a.(x) <- true) affected;
   let touched tup = Array.exists (fun x -> x >= size || in_a.(x)) tup in
@@ -114,6 +131,7 @@ let refresh t ~result_fn ~holds ~params ~size ~affected =
       (fun acc b -> if holds a b then Tuple.Set.add b acc else acc)
       kept candidates
   in
+  Obs.add c_refresh_candidates (List.length candidates);
   let survivors = ref Tuple.Map.empty in
   let add a s =
     if (not (touched a)) && not (Tuple.Map.mem a !survivors) then
@@ -123,6 +141,7 @@ let refresh t ~result_fn ~holds ~params ~size ~affected =
   Mutex.lock t.lock;
   Tuple.Hashtbl.iter add t.cache;
   Mutex.unlock t.lock;
+  Obs.add c_refresh_kept (Tuple.Map.cardinal !survivors);
   {
     params;
     result_fn;

@@ -5,6 +5,21 @@ type alignment = {
   missing : int;
 }
 
+(* Observability: the cost and yield of carrier realignment — how many
+   endpoints were looked up and how many survived the attack. *)
+module Obs = Wm_obs.Obs
+
+let c_align_lookups = Obs.counter "align.lookups"
+let c_align_matched = Obs.counter "align.matched"
+let c_align_missing = Obs.counter "align.missing"
+let t_align = Obs.timer "align.time"
+
+let record_alignment a =
+  Obs.add c_align_lookups a.total;
+  Obs.add c_align_matched a.matched;
+  Obs.add c_align_missing a.missing;
+  a
+
 (* --- relational alignment: match by element display names ------------- *)
 
 module Smap = Map.Make (String)
@@ -25,6 +40,8 @@ let name_index g =
 
 let align_structures ?jobs ?tuples ~(original : Weighted.structure)
     ~(suspect : Weighted.structure) () =
+  Obs.time t_align @@ fun () ->
+  record_alignment @@
   let tuples =
     match tuples with
     | Some ts -> ts
@@ -108,6 +125,8 @@ let signature_index u =
   index
 
 let align_trees ~original ~suspect =
+  Obs.time t_align @@ fun () ->
+  record_alignment @@
   let sindex = signature_index suspect in
   let counts = Hashtbl.create 64 in
   let observed, matched, missing =

@@ -133,6 +133,32 @@ let test_binomial_tail () =
   check bool "majority mass" true
     (Detector.binomial_tail ~trials:10 ~successes:5 > 0.5)
 
+let test_binomial_tail_degenerate_p () =
+  (* p = 0 / p = 1 used to produce NaN (0 * -inf inside the log-space
+     sum); the endpoints are now exact. *)
+  check (float 1e-9) "p=0" 0.
+    (Detector.binomial_tail_p ~p:0. ~trials:10 ~successes:3);
+  check (float 1e-9) "p=1" 1.
+    (Detector.binomial_tail_p ~p:1. ~trials:10 ~successes:10);
+  check (float 1e-9) "p=1 partial" 1.
+    (Detector.binomial_tail_p ~p:1. ~trials:10 ~successes:3);
+  check (float 1e-9) "p=0 k=0" 1.
+    (Detector.binomial_tail_p ~p:0. ~trials:10 ~successes:0);
+  let finite p =
+    let x = Detector.binomial_tail_p ~p ~trials:50 ~successes:25 in
+    Float.is_finite x && x >= 0. && x <= 1.
+  in
+  check bool "interior values stay probabilities" true
+    (List.for_all finite [ 1e-12; 0.25; 0.5; 0.999999 ]);
+  let rejects p =
+    match Detector.binomial_tail_p ~p ~trials:10 ~successes:5 with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check bool "p < 0 rejected" true (rejects (-0.1));
+  check bool "p > 1 rejected" true (rejects 1.5);
+  check bool "nan rejected" true (rejects Float.nan)
+
 (* --- multi-query scheme ------------------------------------------------- *)
 
 let two_away =
@@ -276,6 +302,7 @@ let suite =
     ("detector: clean copy", `Quick, test_detector_clean_copy);
     ("detector: innocent servers", `Quick, test_detector_unrelated_data);
     ("detector: binomial tail", `Quick, test_binomial_tail);
+    ("detector: binomial tail degenerate p", `Quick, test_binomial_tail_degenerate_p);
     ("multi-query roundtrip", `Quick, test_multi_roundtrip);
     ("multi-query arity guard", `Quick, test_multi_rejects_mixed_arity);
     QCheck_alcotest.to_alcotest prop_multi_simultaneous_budget;

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "qpwm"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("par", Test_par.suite);
       ("relational", Test_relational.suite);
       ("incremental", Test_incremental.suite);

@@ -129,6 +129,44 @@ let test_stats_rate () =
   check (float 1e-9) "rate" 0.5 (Stats.rate 1 2);
   check (float 1e-9) "rate zero den" 0. (Stats.rate 1 0)
 
+let raises_invalid name f =
+  check bool name true
+    (match f () with exception Invalid_argument _ -> true | _ -> false)
+
+let test_stats_imax () =
+  check int "empty" 0 (Stats.imax [||]);
+  check int "mixed" 7 (Stats.imax [| 3; 7; 1 |]);
+  check int "singleton" 4 (Stats.imax [| 4 |]);
+  (* the old fold-from-0 clamped this to 0 *)
+  check int "all negative" (-2) (Stats.imax [| -5; -2; -9 |])
+
+let test_stats_histogram_guard () =
+  raises_invalid "bins 0" (fun () -> Stats.histogram ~bins:0 [| 1.0 |]);
+  raises_invalid "bins negative" (fun () -> Stats.histogram ~bins:(-3) [| 1.0 |]);
+  check int "valid still works" 2 (Array.length (Stats.histogram ~bins:2 [| 0.; 1. |]))
+
+let test_codec_validation () =
+  raises_invalid "of_int bits > 62" (fun () -> Codec.of_int ~bits:63 1);
+  raises_invalid "of_int bits < 0" (fun () -> Codec.of_int ~bits:(-1) 0);
+  raises_invalid "of_int overflow" (fun () -> Codec.of_int ~bits:4 16);
+  raises_invalid "of_int negative" (fun () -> Codec.of_int ~bits:4 (-1));
+  raises_invalid "to_int too long" (fun () -> Codec.to_int (Bitvec.create 63));
+  raises_invalid "to_string ragged" (fun () -> Codec.to_string (Bitvec.create 3));
+  raises_invalid "hamming mismatch" (fun () ->
+      Codec.hamming (Bitvec.create 3) (Bitvec.create 4));
+  raises_invalid "majority times 0" (fun () ->
+      Codec.majority_decode ~times:0 (Bitvec.create 4));
+  raises_invalid "majority ragged" (fun () ->
+      Codec.majority_decode ~times:3 (Bitvec.create 4))
+
+let test_codec_even_tie () =
+  (* Two copies of [true], one flipped: the 1-1 tie decodes to false (the
+     documented strict-majority bias). *)
+  let r = Codec.repeat ~times:2 (Codec.of_bool_list [ true ]) in
+  Bitvec.set r 1 false;
+  check (list bool) "tie decodes false" [ false ]
+    (Codec.to_bool_list (Codec.majority_decode ~times:2 r))
+
 let test_texttab_render () =
   let t = Texttab.create [ "name"; "n" ] in
   Texttab.add_row t [ "alpha"; "1" ];
@@ -188,6 +226,10 @@ let suite =
     ("codec hamming", `Quick, test_codec_hamming);
     ("stats basics", `Quick, test_stats_basic);
     ("stats rate", `Quick, test_stats_rate);
+    ("stats imax", `Quick, test_stats_imax);
+    ("stats histogram guard", `Quick, test_stats_histogram_guard);
+    ("codec validation", `Quick, test_codec_validation);
+    ("codec even tie", `Quick, test_codec_even_tie);
     ("texttab render", `Quick, test_texttab_render);
     QCheck_alcotest.to_alcotest prop_codec_int;
     QCheck_alcotest.to_alcotest prop_bitvec_of_to_list;
