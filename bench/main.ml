@@ -1527,13 +1527,119 @@ let e22 () =
      overhead_below_5pct."
 
 (* ------------------------------------------------------------------ *)
+(* E23 — the neighborhood-typing fast path (DESIGN.md 5.9): per-index
+   sphere cache, member-scan dedupe, CSR adjacency and exact partition
+   refinement, measured against the preserved pre-PR pipeline
+   (Neighborhood_ref) at jobs=1 on the two heaviest typing workloads
+   (E20's random graph, E21's grid).  Both pipelines must produce
+   bit-identical indexes; the acceptance bar is a >=2x speedup on the
+   spheres (materialization) phase of the E20 workload.  The iso-check
+   counts under the old Hashtbl.hash bucket keys and the new deep keys
+   are recorded for the CI regression guard.  The obs flag is
+   process-global, so run this experiment alone (bench e23) for clean
+   numbers. *)
+
+let e23 () =
+  header "E23. Neighborhood-typing fast path vs pre-PR pipeline (jobs=1)";
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  let run_obs f =
+    let since = Obs.snapshot () in
+    let x, dt = secs f in
+    (x, dt, Obs.diff ~since (Obs.snapshot ()))
+  in
+  (* best of 2, keeping the obs diff of the faster run *)
+  let best f =
+    let (_, d1, _) as r1 = run_obs f in
+    let (_, d2, _) as r2 = run_obs f in
+    if d2 < d1 then r2 else r1
+  in
+  let timer_s d name =
+    match List.assoc_opt name d.Obs.timers with
+    | Some tt -> tt.Obs.seconds
+    | None -> 0.
+  in
+  let counter_v d name =
+    Option.value ~default:0 (List.assoc_opt name d.Obs.counters)
+  in
+  let t =
+    Texttab.create
+      [ "workload"; "pipeline"; "wall s"; "spheres s"; "iso checks"; "identical" ]
+  in
+  let compare_on ~name g ~rho ~arity =
+    let ix_new, t_new, d_new =
+      best (fun () -> Neighborhood.index_universe ~jobs:1 g ~rho ~arity)
+    in
+    let ix_ref, t_ref, d_ref =
+      best (fun () -> Neighborhood_ref.index_universe ~jobs:1 g ~rho ~arity)
+    in
+    let same =
+      Tuple.Map.equal ( = ) ix_new.Neighborhood.types ix_ref.Neighborhood.types
+      && ix_new.Neighborhood.representatives = ix_ref.Neighborhood.representatives
+    in
+    if not same then failwith ("e23: fast path diverged from reference on " ^ name);
+    let sp_new = timer_s d_new "nbh.index.spheres" in
+    let sp_ref = timer_s d_ref "nbh.ref.index.spheres" in
+    let ic_new = counter_v d_new "nbh.iso_checks" in
+    let ic_ref = counter_v d_ref "nbh.ref.iso_checks" in
+    Texttab.addf t "%s|reference|%.3f|%.3f|%d|%s" name t_ref sp_ref ic_ref "-";
+    Texttab.addf t "%s|fast path|%.3f|%.3f|%d|%s" name t_new sp_new ic_new "yes";
+    Printf.printf
+      "%s: wall %.2fx, spheres phase %.2fx; cache hits %d, member scans \
+       deduped %d, refine rounds %d\n"
+      name (t_ref /. t_new) (sp_ref /. sp_new)
+      (counter_v d_new "nbh.sphere_cache_hits")
+      (counter_v d_new "nbh.subs_deduped")
+      (counter_v d_new "nbh.refine_rounds");
+    (t_ref /. t_new, sp_ref /. sp_new, ic_new, ic_ref)
+  in
+  (* Workload A (the acceptance one): the E20 rho-2 unary typing of a
+     bounded-degree random graph, ntp ~ n. *)
+  let wsa = Random_struct.graph (Prng.create 41) ~n:420 ~max_degree:6 ~edges:940 in
+  let wall_a, spheres_a, ic_new, ic_ref =
+    compare_on ~name:"random n=420" wsa.Weighted.graph ~rho:2 ~arity:1
+  in
+  (* Workload B: the E21 40x40 grid — few types, heavy sphere overlap. *)
+  let grid = (Grid.structure ~w:40 ~h:40).Weighted.graph in
+  let wall_b, spheres_b, _, _ =
+    compare_on ~name:"grid 40x40" grid ~rho:2 ~arity:1
+  in
+  (* Workload C: binary tuples — n^2 parameters share n element spheres,
+     so the cache and the member-scan dedupe carry the whole phase. *)
+  let wsc = Random_struct.graph (Prng.create 7) ~n:80 ~max_degree:5 ~edges:170 in
+  let wall_c, spheres_c, _, _ =
+    compare_on ~name:"random n=80 arity=2" wsc.Weighted.graph ~rho:1 ~arity:2
+  in
+  Obs.set_enabled was;
+  Texttab.print t;
+  record_scalars ~experiment:"e23"
+    [
+      ("wall_speedup", Json.Float wall_a);
+      ("spheres_speedup", Json.Float spheres_a);
+      ("grid_wall_speedup", Json.Float wall_b);
+      ("grid_spheres_speedup", Json.Float spheres_b);
+      ("arity2_wall_speedup", Json.Float wall_c);
+      ("arity2_spheres_speedup", Json.Float spheres_c);
+      ("iso_checks_new", Json.Int ic_new);
+      ("iso_checks_baseline", Json.Int ic_ref);
+      ("spheres_meets_2x", Json.Bool (spheres_a >= 2.0));
+    ];
+  Printf.printf
+    "The fast path shares one sphere BFS per element, one member scan per\n\
+     distinct sphere and one sub-Gaifman graph per tuple, and refines to\n\
+     the exact 1-WL fixpoint instead of size-many hashed rounds.  The\n\
+     acceptance bar (spheres-phase speedup >= 2x on the random workload,\n\
+     output bit-identical) is recorded as spheres_meets_2x; the iso-check\n\
+     counts feed the CI guard against bucket-key regressions.\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
-    ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22);
+    ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22); ("e23", e23);
   ]
 
 let () =
@@ -1645,7 +1751,7 @@ let () =
         (Json.Obj
            ([
               ("schema", Json.String "qpwm-bench/1");
-              ("pr", Json.Int 4);
+              ("pr", Json.Int 5);
               ("jobs", Json.Int (Par.jobs ()));
               ("pool_size", Json.Int (Par.pool_size ()));
               ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));

@@ -46,6 +46,7 @@ module Weighted = Wm_relational.Weighted
 module Gaifman = Wm_relational.Gaifman
 module Iso = Wm_relational.Iso
 module Neighborhood = Wm_relational.Neighborhood
+module Neighborhood_ref = Wm_relational.Neighborhood_ref
 module Textio = Wm_relational.Textio
 
 (* logic *)

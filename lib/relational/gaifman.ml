@@ -1,73 +1,135 @@
-type t = { adj : int array array }
+(* CSR (compressed sparse row) adjacency: one flat sorted neighbor array
+   plus an offset array, so BFS and refinement walk int arrays with no
+   per-node list allocation.  Rows are sorted and duplicate-free; the
+   public API (sorted neighbor lists, spheres, ...) is unchanged. *)
 
-module Iset = Set.Make (Int)
+type t = { off : int array; nbr : int array }
+
+let size g = Array.length g.off - 1
+
+let degree g a = g.off.(a + 1) - g.off.(a)
+
+let degrees g = Array.init (size g) (fun a -> degree g a)
+
+let neighbors g a = Array.to_list (Array.sub g.nbr g.off.(a) (degree g a))
+
+let iter_neighbors g a f =
+  for i = g.off.(a) to g.off.(a + 1) - 1 do
+    f g.nbr.(i)
+  done
+
+let max_degree g =
+  let best = ref 0 in
+  for a = 0 to size g - 1 do
+    if degree g a > !best then best := degree g a
+  done;
+  !best
+
+let icmp (a : int) b = compare a b
+
+(* Counting-sort [m] directed edges (self-loops already excluded) into
+   rows, then sort and dedupe each row in place. *)
+let csr_of_edges n src dst m =
+  let cnt = Array.make (n + 1) 0 in
+  for e = 0 to m - 1 do
+    cnt.(src.(e) + 1) <- cnt.(src.(e) + 1) + 1
+  done;
+  for a = 1 to n do
+    cnt.(a) <- cnt.(a) + cnt.(a - 1)
+  done;
+  let pos = Array.copy cnt in
+  let row = Array.make m 0 in
+  for e = 0 to m - 1 do
+    let a = src.(e) in
+    row.(pos.(a)) <- dst.(e);
+    pos.(a) <- pos.(a) + 1
+  done;
+  let off = Array.make (n + 1) 0 in
+  let nbr = Array.make m 0 in
+  let w = ref 0 in
+  for a = 0 to n - 1 do
+    off.(a) <- !w;
+    let lo = cnt.(a) and hi = cnt.(a + 1) in
+    if hi > lo then begin
+      let slice = Array.sub row lo (hi - lo) in
+      Array.sort icmp slice;
+      Array.iter
+        (fun v ->
+          if !w = off.(a) || nbr.(!w - 1) <> v then begin
+            nbr.(!w) <- v;
+            incr w
+          end)
+        slice
+    end
+  done;
+  off.(n) <- !w;
+  { off; nbr = Array.sub nbr 0 !w }
+
+(* Shared two-pass edge gather: [count]/[emit] enumerate the same tuple
+   stream; capacity is the exact directed-pair count, filled left to
+   right. *)
+let build n iter_tuples =
+  let m = ref 0 in
+  iter_tuples (fun t ->
+      let k = Array.length t in
+      m := !m + (k * (k - 1)));
+  let src = Array.make (max 1 !m) 0 and dst = Array.make (max 1 !m) 0 in
+  let p = ref 0 in
+  iter_tuples (fun t ->
+      let k = Array.length t in
+      for i = 0 to k - 1 do
+        for j = 0 to k - 1 do
+          if i <> j && t.(i) <> t.(j) then begin
+            src.(!p) <- t.(i);
+            dst.(!p) <- t.(j);
+            incr p
+          end
+        done
+      done);
+  csr_of_edges n src dst !p
 
 let of_structure g =
-  let n = Structure.size g in
-  let sets = Array.make n Iset.empty in
-  let add_edge a b =
-    if a <> b then begin
-      sets.(a) <- Iset.add b sets.(a);
-      sets.(b) <- Iset.add a sets.(b)
-    end
-  in
-  Structure.fold_relations
-    (fun _ r () ->
-      Relation.iter
-        (fun t ->
-          let k = Array.length t in
-          for i = 0 to k - 1 do
-            for j = i + 1 to k - 1 do
-              add_edge t.(i) t.(j)
-            done
-          done)
-        r)
-    g ();
-  { adj = Array.map (fun s -> Array.of_list (Iset.elements s)) sets }
+  build (Structure.size g) (fun f ->
+      Structure.fold_relations (fun _ r () -> Relation.iter f r) g ())
+
+let of_tuples ~n ts = build n (fun f -> List.iter f ts)
 
 (* Incremental rebuild: only the adjacency rows of dirty elements can differ
    from [prev] (an edge {y,z} appears or disappears only with a tuple
    containing both, and every such edit dirties its endpoints), so we scan
-   the relations once for tuples touching the dirty set and copy every other
-   row.  Elements beyond [prev]'s universe are treated as dirty. *)
+   the relations once for tuples touching the dirty set, counting-sort the
+   dirty rows, and blit every other row from [prev].  Elements beyond
+   [prev]'s universe are treated as dirty. *)
 let refresh g ~prev ~dirty =
   let n = Structure.size g in
-  let prev_n = Array.length prev.adj in
+  let prev_n = size prev in
   let is_dirty = Array.make n false in
   List.iter (fun x -> if x >= 0 && x < n then is_dirty.(x) <- true) dirty;
   for a = prev_n to n - 1 do
     is_dirty.(a) <- true
   done;
-  let sets = Array.make n Iset.empty in
-  let add a b = if a <> b && is_dirty.(a) then sets.(a) <- Iset.add b sets.(a) in
-  Structure.fold_relations
-    (fun _ r () ->
-      Relation.iter
-        (fun t ->
-          if Array.exists (fun x -> is_dirty.(x)) t then
-            let k = Array.length t in
-            for i = 0 to k - 1 do
-              for j = 0 to k - 1 do
-                if i <> j then add t.(i) t.(j)
-              done
-            done)
-        r)
-    g ();
-  {
-    adj =
-      Array.init n (fun a ->
-          if is_dirty.(a) then Array.of_list (Iset.elements sets.(a))
-          else prev.adj.(a));
-  }
-
-let size g = Array.length g.adj
-
-let neighbors g a = Array.to_list g.adj.(a)
-
-let degree g a = Array.length g.adj.(a)
-
-let max_degree g =
-  Array.fold_left (fun acc row -> max acc (Array.length row)) 0 g.adj
+  let fresh =
+    build n (fun f ->
+        Structure.fold_relations
+          (fun _ r () ->
+            Relation.iter
+              (fun t -> if Array.exists (fun x -> is_dirty.(x)) t then f t)
+              r)
+          g ())
+  in
+  let off = Array.make (n + 1) 0 in
+  for a = 0 to n - 1 do
+    let d = if is_dirty.(a) then degree fresh a else degree prev a in
+    off.(a + 1) <- off.(a) + d
+  done;
+  let nbr = Array.make off.(n) 0 in
+  for a = 0 to n - 1 do
+    let source, lo =
+      if is_dirty.(a) then (fresh.nbr, fresh.off.(a)) else (prev.nbr, prev.off.(a))
+    in
+    Array.blit source lo nbr off.(a) (off.(a + 1) - off.(a))
+  done;
+  { off; nbr }
 
 (* BFS from [a], visiting nodes at distance <= bound (or all if bound < 0);
    calls [visit node dist] once per reached node, in distance order. *)
@@ -81,13 +143,11 @@ let bfs g a ~bound visit =
     let u = Queue.pop q in
     visit u dist.(u);
     if bound < 0 || dist.(u) < bound then
-      Array.iter
-        (fun v ->
+      iter_neighbors g u (fun v ->
           if dist.(v) < 0 then begin
             dist.(v) <- dist.(u) + 1;
             Queue.add v q
           end)
-        g.adj.(u)
   done;
   dist
 
@@ -107,13 +167,11 @@ let reach g ~sources ~bound =
     let u = Queue.pop q in
     acc := u :: !acc;
     if bound < 0 || dist.(u) < bound then
-      Array.iter
-        (fun v ->
+      iter_neighbors g u (fun v ->
           if dist.(v) < 0 then begin
             dist.(v) <- dist.(u) + 1;
             Queue.add v q
           end)
-        g.adj.(u)
   done;
   List.sort compare !acc
 
@@ -123,10 +181,24 @@ let distance g a b =
     let dist = bfs g a ~bound:(-1) (fun _ _ -> ()) in
     if dist.(b) < 0 then None else Some dist.(b)
 
-let sphere g ~rho a =
-  let acc = ref [] in
-  ignore (bfs g a ~bound:rho (fun u _ -> acc := u :: !acc));
-  List.sort compare !acc
+let sphere_array g ~rho a =
+  let acc = ref [] and count = ref 0 in
+  ignore
+    (bfs g a ~bound:rho (fun u _ ->
+         acc := u :: !acc;
+         incr count));
+  let s = Array.make !count 0 in
+  List.iter
+    (fun u ->
+      decr count;
+      s.(!count) <- u)
+    !acc;
+  Array.sort icmp s;
+  s
+
+let sphere g ~rho a = Array.to_list (sphere_array g ~rho a)
+
+module Iset = Set.Make (Int)
 
 let sphere_tuple g ~rho t =
   let s =

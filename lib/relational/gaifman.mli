@@ -6,9 +6,16 @@
     lives on top of this module. *)
 
 type t
-(** An adjacency-list view of the Gaifman graph of one structure. *)
+(** A CSR (compressed sparse row) view of the Gaifman graph of one
+    structure: a flat sorted neighbor array plus per-element offsets, so
+    traversal allocates nothing. *)
 
 val of_structure : Structure.t -> t
+
+val of_tuples : n:int -> Tuple.t list -> t
+(** The Gaifman graph of an explicit tuple list over universe [0..n-1] —
+    the co-occurrence graph of an induced substructure given its member
+    tuples, without materializing the substructure. *)
 
 val refresh : Structure.t -> prev:t -> dirty:int list -> t
 (** [refresh g ~prev ~dirty] is [of_structure g], computed by copying every
@@ -23,7 +30,13 @@ val size : t -> int
 val neighbors : t -> int -> int list
 (** Sorted, without self-loops or duplicates. *)
 
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Iterate a row in ascending order without materializing a list. *)
+
 val degree : t -> int -> int
+
+val degrees : t -> int array
+(** All degrees, indexed by element. *)
 
 val max_degree : t -> int
 (** The k for which the structure belongs to STRUCT_k (0 for edgeless). *)
@@ -38,6 +51,10 @@ val distance : t -> int -> int -> int option
 
 val sphere : t -> rho:int -> int -> int list
 (** [sphere g ~rho a] is S_rho(a) = elements at distance <= rho, sorted. *)
+
+val sphere_array : t -> rho:int -> int -> int array
+(** [sphere] as a sorted array — the representation the neighborhood
+    indexer's per-element cache stores. *)
 
 val sphere_tuple : t -> rho:int -> Tuple.t -> int list
 (** S_rho of a tuple: union of the element spheres, sorted. *)

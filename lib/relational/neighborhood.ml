@@ -4,14 +4,16 @@ type nbh = {
   original : int array;
 }
 
-(* Observability (DESIGN.md 5.8).  The counters decompose the cost claims
-   of E20/E21: how many spheres were extracted by BFS, how many exact
-   isomorphism tests actually ran, and how many the cheap-invariant
-   pre-bucketing avoided (the comparisons a bucket-less scan over all
-   representatives would have performed on top of the in-bucket ones). *)
+(* Observability (DESIGN.md 5.8/5.9).  The counters decompose the cost
+   claims of E20-E23: how many spheres were actually extracted by BFS
+   (vs served from the per-index cache), how many induced-substructure
+   scans the sphere-set dedupe shared, how many exact isomorphism tests
+   ran, and how many the cheap-invariant pre-bucketing avoided. *)
 module Obs = Wm_obs.Obs
 
 let c_spheres = Obs.counter "nbh.spheres"
+let c_sphere_hits = Obs.counter "nbh.sphere_cache_hits"
+let c_subs_deduped = Obs.counter "nbh.subs_deduped"
 let c_tuples_typed = Obs.counter "nbh.tuples_typed"
 let c_buckets = Obs.counter "nbh.buckets"
 let c_iso_checks = Obs.counter "nbh.iso_checks"
@@ -26,9 +28,9 @@ let t_spheres = Obs.timer "nbh.index.spheres"
 let t_classify = Obs.timer "nbh.index.classify"
 let t_renumber = Obs.timer "nbh.index.renumber"
 
-let iso_check a b =
+let iso_check pa pb =
   Obs.incr c_iso_checks;
-  Iso.isomorphic a.sub a.center b.sub b.center
+  Iso.isomorphic_prep pa pb
 
 let of_tuple g gf ~rho c =
   Obs.incr c_spheres;
@@ -51,33 +53,252 @@ type index = {
   representatives : Tuple.t array;
 }
 
+(* --- streaming enumeration of U^arity ------------------------------
+   The enumeration order (first coordinate cycling fastest) fixes the
+   type-id numbering, so [nth_tuple] must keep reproducing the order the
+   original cons-list construction produced. *)
+
+let ipow n k =
+  let r = ref 1 in
+  for _ = 1 to k do
+    r := !r * n
+  done;
+  !r
+
+let tuple_count n ~arity = if arity = 0 then 1 else ipow n arity
+
+let nth_tuple n ~arity ix =
+  let t = Array.make arity 0 in
+  let r = ref ix in
+  for j = 0 to arity - 1 do
+    t.(j) <- !r mod n;
+    r := !r / n
+  done;
+  t
+
+let iter_all_tuples g ~arity f =
+  let n = Structure.size g in
+  for ix = 0 to tuple_count n ~arity - 1 do
+    f (nth_tuple n ~arity ix)
+  done
+
 let all_tuples g ~arity =
   let n = Structure.size g in
-  let rec go k acc =
-    if k = 0 then acc
-    else
-      go (k - 1)
-        (List.concat_map
-           (fun rest -> List.init n (fun x -> x :: rest))
-           acc)
-  in
-  List.map Tuple.of_list (go arity [ [] ])
+  List.init (tuple_count n ~arity) (fun ix -> nth_tuple n ~arity ix)
 
-(* Cheap isomorphism invariants of a neighborhood, used to pre-bucket
-   before the refinement certificate and the exact in-bucket search:
-   universe size, tuple count, the degree multiset of the sphere's
-   Gaifman graph, and the equality pattern of the center (all preserved
-   by any isomorphism that maps i-th distinguished to i-th).  Buckets
-   get finer, so the quadratic all-pairs search inside each bucket runs
-   on far fewer candidates. *)
-let cheap_invariants nb =
-  let gf = Gaifman.of_structure nb.sub in
-  let degrees =
-    List.sort compare
-      (List.map (Gaifman.degree gf) (Structure.universe nb.sub))
+let all_tuples_array g ~arity =
+  let n = Structure.size g in
+  Array.init (tuple_count n ~arity) (fun ix -> nth_tuple n ~arity ix)
+
+(* --- the shared fast-path context (DESIGN.md 5.9) -------------------
+   One [ctx] serves every materialization pass of one index/reindex call:
+
+   - [spheres] memoizes [Gaifman.sphere_array] per element, so a tuple
+     sphere is a union of cached arrays instead of arity-many BFS runs;
+   - [incident] maps each element to the structure tuples containing it,
+     so the members of a sphere are found by a local scan (proportional
+     to the sphere's own tuples) instead of a full-relation sweep;
+   - [groups] dedupes that member scan across all tuples sharing one
+     sphere (sorted element set) — heavy overlap at arity >= 2.
+
+   The tables are only mutated in the sequential grouping phases; the
+   parallel phases read frozen entries, which keeps the pool's
+   bit-identical-for-every-job-count contract. *)
+
+type ctx = {
+  cg : Structure.t;
+  cgf : Gaifman.t;
+  crho : int;
+  use_cache : bool;
+  incident : (string * Tuple.t) list array;
+  spheres : int array option array;
+  groups : (int array, (string * Tuple.t) list option ref) Hashtbl.t;
+}
+
+let make_ctx ?(use_cache = true) g gf ~rho =
+  let n = Structure.size g in
+  let incident = Array.make n [] in
+  Structure.fold_relations
+    (fun name r () ->
+      Relation.iter
+        (fun t ->
+          Array.iteri
+            (fun i x ->
+              (* record once per distinct element of the tuple *)
+              let rec first j = if t.(j) = x then j else first (j + 1) in
+              if first 0 = i then incident.(x) <- (name, t) :: incident.(x))
+            t)
+        r)
+    g ();
+  {
+    cg = g;
+    cgf = gf;
+    crho = rho;
+    use_cache;
+    incident;
+    spheres = Array.make n None;
+    groups = Hashtbl.create 256;
+  }
+
+(* Tuples of the structure lying entirely inside the sphere [s] (sorted
+   element-set array): a scan local to [s], deduplicated by charging each
+   tuple to its first element. *)
+let members_in ctx s =
+  let in_s = Array.make (Structure.size ctx.cg) false in
+  Array.iter (fun x -> in_s.(x) <- true) s;
+  let acc = ref [] in
+  Array.iter
+    (fun x ->
+      List.iter
+        (fun ((_, t) as entry) ->
+          if t.(0) = x && Array.for_all (fun y -> in_s.(y)) t then
+            acc := entry :: !acc)
+        ctx.incident.(x))
+    s;
+  !acc
+
+let icmp (a : int) b = compare a b
+
+(* Sorted union of the (cached) element spheres of [c]. *)
+let sphere_union ctx c =
+  let sphere_of x =
+    match ctx.spheres.(x) with
+    | Some s -> s
+    | None ->
+        Obs.incr c_spheres;
+        Gaifman.sphere_array ctx.cgf ~rho:ctx.crho x
   in
-  Hashtbl.hash
-    (Structure.size nb.sub, Structure.tuples_count nb.sub, degrees, nb.center)
+  match Array.length c with
+  | 0 -> [||]
+  | 1 -> sphere_of c.(0)
+  | _ ->
+      let parts = Array.map sphere_of c in
+      let total = Array.fold_left (fun acc s -> acc + Array.length s) 0 parts in
+      let buf = Array.make total 0 in
+      let p = ref 0 in
+      Array.iter
+        (fun s ->
+          Array.blit s 0 buf !p (Array.length s);
+          p := !p + Array.length s)
+        parts;
+      Array.sort icmp buf;
+      let w = ref 0 in
+      Array.iter
+        (fun v ->
+          if !w = 0 || buf.(!w - 1) <> v then begin
+            buf.(!w) <- v;
+            incr w
+          end)
+        buf;
+      Array.sub buf 0 !w
+
+(* Materialize classification data for every tuple: bucket key (cheap
+   invariants), certificate, and the {!Iso.prep} reused by every exact
+   in-bucket test.  The induced substructure and its Gaifman graph are
+   built once per tuple and threaded through all three consumers. *)
+let materialize ctx ?jobs tups =
+  (* Phase A (parallel): BFS the spheres of elements not yet cached. *)
+  if ctx.use_cache then begin
+    let n = Structure.size ctx.cg in
+    let pending = Array.make n false in
+    let missing = ref [] and nmiss = ref 0 and lookups = ref 0 in
+    Array.iter
+      (fun c ->
+        Array.iter
+          (fun x ->
+            incr lookups;
+            if ctx.spheres.(x) = None && not pending.(x) then begin
+              pending.(x) <- true;
+              missing := x :: !missing;
+              incr nmiss
+            end)
+          c)
+      tups;
+    let missing = Array.of_list (List.rev !missing) in
+    let computed =
+      Wm_par.Pool.parallel_map ?jobs
+        (fun x -> Gaifman.sphere_array ctx.cgf ~rho:ctx.crho x)
+        missing
+    in
+    Array.iteri (fun i x -> ctx.spheres.(x) <- Some computed.(i)) missing;
+    Obs.add c_spheres !nmiss;
+    Obs.add c_sphere_hits (!lookups - !nmiss)
+  end;
+  (* Phase B (sequential, cheap): tuple spheres by union, grouped by
+     sphere so the member scan below runs once per distinct sphere. *)
+  let sets = Array.map (fun c -> sphere_union ctx c) tups in
+  let fresh = ref [] in
+  if ctx.use_cache then
+    Array.iter
+      (fun s ->
+        if Hashtbl.mem ctx.groups s then Obs.incr c_subs_deduped
+        else begin
+          Hashtbl.add ctx.groups s (ref None);
+          fresh := s :: !fresh
+        end)
+      sets;
+  (* Phase C (parallel): one member scan per fresh sphere group. *)
+  let fresh = Array.of_list (List.rev !fresh) in
+  let scanned = Wm_par.Pool.parallel_map ?jobs (fun s -> members_in ctx s) fresh in
+  Array.iteri (fun i s -> Hashtbl.find ctx.groups s := Some scanned.(i)) fresh;
+  (* Phase D (parallel): per-tuple substructure, sub-Gaifman graph, cheap
+     key, certificate, refinement prep. *)
+  let schema = Structure.schema ctx.cg in
+  Wm_par.Pool.parallel_mapi ?jobs
+    (fun i c ->
+      let s = sets.(i) in
+      let members =
+        if ctx.use_cache then
+          match !(Hashtbl.find ctx.groups s) with
+          | Some m -> m
+          | None -> assert false
+        else members_in ctx s
+      in
+      let k = Array.length s in
+      (* Renaming: the tuple's own elements first (stable center ids),
+         then the rest of the sphere in ascending order. *)
+      let new_id = Hashtbl.create (2 * k) in
+      let pos = ref 0 in
+      let place x =
+        if not (Hashtbl.mem new_id x) then begin
+          Hashtbl.add new_id x !pos;
+          incr pos
+        end
+      in
+      Array.iter place c;
+      Array.iter place s;
+      let ren t = Array.map (fun x -> Hashtbl.find new_id x) t in
+      let by_rel : (string, Tuple.t list ref) Hashtbl.t = Hashtbl.create 8 in
+      let renamed_all = ref [] in
+      List.iter
+        (fun (name, t) ->
+          let rt = ren t in
+          renamed_all := rt :: !renamed_all;
+          match Hashtbl.find_opt by_rel name with
+          | Some l -> l := rt :: !l
+          | None -> Hashtbl.add by_rel name (ref [ rt ]))
+        members;
+      let sub =
+        Hashtbl.fold
+          (fun name ts acc ->
+            let arity = Relation.arity (Structure.relation acc name) in
+            Structure.set_relation acc name (Relation.of_list arity !ts))
+          by_rel
+          (Structure.create schema k)
+      in
+      let gf_sub = Gaifman.of_tuples ~n:k !renamed_all in
+      let center = List.map (Hashtbl.find new_id) (Array.to_list c) in
+      let prep = Iso.prep ~gf:gf_sub sub center in
+      (* Cheap invariants, deep-hashed: sphere size, member count, degree
+         multiset of the sub-Gaifman graph, center equality pattern. *)
+      let degs = Gaifman.degrees gf_sub in
+      Array.sort icmp degs;
+      let h = ref (Iso.mix 0x9e3779b9 k) in
+      h := Iso.mix !h (List.length members);
+      Array.iter (fun d -> h := Iso.mix !h d) degs;
+      List.iter (fun x -> h := Iso.mix !h x) center;
+      (!h, Iso.certificate_of_prep prep, prep))
+    tups
 
 let distinct_tuples tuples =
   (* first-occurrence order, which fixes the type-id numbering *)
@@ -91,31 +312,19 @@ let distinct_tuples tuples =
       end)
     tuples
 
-let index ?jobs g ~rho tuples =
-  Obs.span t_index @@ fun () ->
-  let gf = Gaifman.of_structure g in
-  let tups = Array.of_list (distinct_tuples tuples) in
+let run_index ctx ?jobs tups ~rho ~arity =
   let n = Array.length tups in
-  let arity = if n > 0 then Array.length tups.(0) else 0 in
   Obs.add c_tuples_typed n;
-  (* Phase 1 (parallel): materialize every neighborhood and its
-     invariants.  Each tuple is independent work over the shared
-     immutable structure. *)
-  let keyed =
-    Obs.span t_spheres @@ fun () ->
-    Wm_par.Pool.parallel_map ?jobs
-      (fun c ->
-        let nb = of_tuple g gf ~rho c in
-        (nb, cheap_invariants nb, Iso.certificate nb.sub nb.center))
-      tups
-  in
+  (* Phase 1 (parallel): materialize every neighborhood's classification
+     data through the shared context. *)
+  let keyed = Obs.span t_spheres @@ fun () -> materialize ctx ?jobs tups in
   (* Phase 2 (sequential, cheap): group slots into buckets keyed by
      (cheap invariants, certificate), keeping first-seen order both of
      buckets and within each bucket. *)
   let btbl : (int * int, int list ref) Hashtbl.t = Hashtbl.create 64 in
   let border = ref [] in
   Array.iteri
-    (fun i (_, ck, cert) ->
+    (fun i (ck, cert, _) ->
       match Hashtbl.find_opt btbl (ck, cert) with
       | Some slots -> slots := i :: !slots
       | None ->
@@ -145,11 +354,13 @@ let index ?jobs g ~rho tuples =
         let leaders =
           Array.map
             (fun i ->
-              let nb, _, _ = keyed.(i) in
-              match List.find_opt (fun (_, rep) -> iso_check nb rep) !reps with
+              let _, _, prep = keyed.(i) in
+              match
+                List.find_opt (fun (_, rep) -> iso_check prep rep) !reps
+              with
               | Some (l, _) -> l
               | None ->
-                  reps := (i, nb) :: !reps;
+                  reps := (i, prep) :: !reps;
                   i)
             slots
         in
@@ -195,8 +406,19 @@ let index ?jobs g ~rho tuples =
     tups;
   { rho; arity; types = !types; representatives = Array.of_list (List.rev !reps) }
 
-let index_universe ?jobs g ~rho ~arity =
-  { (index ?jobs g ~rho (all_tuples g ~arity)) with arity }
+let index ?(sphere_cache = true) ?jobs g ~rho tuples =
+  Obs.span t_index @@ fun () ->
+  let gf = Gaifman.of_structure g in
+  let ctx = make_ctx ~use_cache:sphere_cache g gf ~rho in
+  let tups = Array.of_list (distinct_tuples tuples) in
+  let arity = if Array.length tups > 0 then Array.length tups.(0) else 0 in
+  run_index ctx ?jobs tups ~rho ~arity
+
+let index_universe ?sphere_cache ?jobs g ~rho ~arity =
+  Obs.span t_index @@ fun () ->
+  let gf = Gaifman.of_structure g in
+  let ctx = make_ctx ?use_cache:sphere_cache g gf ~rho in
+  run_index ctx ?jobs (all_tuples_array g ~arity) ~rho ~arity
 
 let affected_elements ~old_gf ~gf ~rho ~dirty =
   (* Both graphs: an inserted edge shortens distances only in the new graph,
@@ -224,6 +446,7 @@ let reindex ?jobs ?(threshold = 0.5) ~old g ~prev ~dirty =
     index_universe ?jobs g ~rho ~arity
   end
   else begin
+    let ctx = make_ctx g gf ~rho in
     let touches c = Array.exists (fun x -> in_a.(x)) c in
     (* Anchors: for every old type that still has a member untouched by the
        affected region, any such member — its neighborhood is unchanged, so
@@ -248,38 +471,31 @@ let reindex ?jobs ?(threshold = 0.5) ~old g ~prev ~dirty =
       done;
       Array.of_list !acc
     in
-    let anchor_keyed =
-      Wm_par.Pool.parallel_map ?jobs
-        (fun (ty, c) ->
-          let nb = of_tuple g gf ~rho c in
-          (ty, nb, cheap_invariants nb, Iso.certificate nb.sub nb.center))
-        anchors
-    in
-    let atbl : (int * int, (int * nbh) list ref) Hashtbl.t =
+    let anchor_keyed = materialize ctx ?jobs (Array.map snd anchors) in
+    let atbl : (int * int, (int * Iso.prep) list ref) Hashtbl.t =
       Hashtbl.create 64
     in
-    Array.iter
-      (fun (ty, nb, ck, cert) ->
+    Array.iteri
+      (fun i (ck, cert, prep) ->
+        let ty = fst anchors.(i) in
         match Hashtbl.find_opt atbl (ck, cert) with
-        | Some l -> l := (ty, nb) :: !l
-        | None -> Hashtbl.add atbl (ck, cert) (ref [ (ty, nb) ]))
+        | Some l -> l := (ty, prep) :: !l
+        | None -> Hashtbl.add atbl (ck, cert) (ref [ (ty, prep) ]))
       anchor_keyed;
     Obs.add c_anchors (Array.length anchors);
     (* Affected tuples, in enumeration order so numbering below matches the
        from-scratch index; everything else keeps its old class. *)
-    let at = Array.of_list (List.filter touches (all_tuples g ~arity)) in
-    Obs.add c_affected_tuples (Array.length at);
-    let keyed =
-      Wm_par.Pool.parallel_map ?jobs
-        (fun c ->
-          let nb = of_tuple g gf ~rho c in
-          (nb, cheap_invariants nb, Iso.certificate nb.sub nb.center))
-        at
+    let at =
+      let acc = ref [] in
+      iter_all_tuples g ~arity (fun c -> if touches c then acc := c :: !acc);
+      Array.of_list (List.rev !acc)
     in
+    Obs.add c_affected_tuples (Array.length at);
+    let keyed = materialize ctx ?jobs at in
     let btbl : (int * int, int list ref) Hashtbl.t = Hashtbl.create 64 in
     let border = ref [] in
     Array.iteri
-      (fun i (_, ck, cert) ->
+      (fun i (ck, cert, _) ->
         match Hashtbl.find_opt btbl (ck, cert) with
         | Some slots -> slots := i :: !slots
         | None ->
@@ -308,8 +524,8 @@ let reindex ?jobs ?(threshold = 0.5) ~old g ~prev ~dirty =
           let reps = ref [] in
           Array.map
             (fun i ->
-              let nb, _, _ = keyed.(i) in
-              let iso (_, r) = iso_check nb r in
+              let _, _, prep = keyed.(i) in
+              let iso (_, r) = iso_check prep r in
               match List.find_opt iso anchors_here with
               | Some (ty, _) -> ty
               | None -> (
@@ -317,7 +533,7 @@ let reindex ?jobs ?(threshold = 0.5) ~old g ~prev ~dirty =
                   | Some (cls, _) -> cls
                   | None ->
                       let cls = ntp_old + i in
-                      reps := (cls, nb) :: !reps;
+                      reps := (cls, prep) :: !reps;
                       cls))
             slots)
         buckets
@@ -327,7 +543,7 @@ let reindex ?jobs ?(threshold = 0.5) ~old g ~prev ~dirty =
       (fun b (_, slots) ->
         Array.iteri (fun k i -> cls.(i) <- classified.(b).(k)) slots)
       buckets;
-    let cls_of_tuple = Tuple.Hashtbl.create (Array.length at) in
+    let cls_of_tuple = Tuple.Hashtbl.create (max 16 (Array.length at)) in
     Array.iteri (fun i c -> Tuple.Hashtbl.replace cls_of_tuple c cls.(i)) at;
     (* Renumber every class by first occurrence over the full enumeration —
        the same sequential pass as the from-scratch phase 4, so type ids and
@@ -336,8 +552,7 @@ let reindex ?jobs ?(threshold = 0.5) ~old g ~prev ~dirty =
     let reps = ref [] in
     let next_ty = ref 0 in
     let types = ref Tuple.Map.empty in
-    List.iter
-      (fun c ->
+    iter_all_tuples g ~arity (fun c ->
         let k =
           match Tuple.Hashtbl.find_opt cls_of_tuple c with
           | Some k -> k
@@ -353,8 +568,7 @@ let reindex ?jobs ?(threshold = 0.5) ~old g ~prev ~dirty =
               reps := c :: !reps;
               ty
         in
-        types := Tuple.Map.add c ty !types)
-      (all_tuples g ~arity);
+        types := Tuple.Map.add c ty !types);
     { rho; arity; types = !types; representatives = Array.of_list (List.rev !reps) }
   end
 

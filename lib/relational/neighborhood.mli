@@ -29,17 +29,25 @@ type index = {
     [0 .. ntp-1] and [representatives] realizes the paper's canonical
     parameter set S. *)
 
-val index : ?jobs:int -> Structure.t -> rho:int -> Tuple.t list -> index
+val index :
+  ?sphere_cache:bool -> ?jobs:int -> Structure.t -> rho:int -> Tuple.t list -> index
 (** Types every listed tuple: pre-buckets by cheap invariants (sphere
     size, tuple count, degree multiset, center pattern) and by
     {!Iso.certificate}, then verifies with exact isomorphism inside each
     bucket.  Sphere extraction and in-bucket classification run on the
     {!Wm_par.Pool} when [jobs] (default {!Wm_par.Pool.jobs}) exceeds 1;
     the result — type ids included — is bit-identical to the sequential
-    [jobs:1] fold for every job count. *)
+    [jobs:1] fold for every job count.
 
-val index_universe : ?jobs:int -> Structure.t -> rho:int -> arity:int -> index
-(** Types all of U^arity. *)
+    The fast path (DESIGN.md 5.9) memoizes element spheres per call and
+    dedupes the induced-substructure member scan across tuples sharing a
+    sphere; [sphere_cache:false] disables both memo tables (same result,
+    per-tuple recomputation — exists so tests can assert the identity). *)
+
+val index_universe :
+  ?sphere_cache:bool -> ?jobs:int -> Structure.t -> rho:int -> arity:int -> index
+(** Types all of U^arity, enumerated in a streaming fashion (no
+    [n^arity] cons-list is ever materialized). *)
 
 val affected_elements :
   old_gf:Gaifman.t -> gf:Gaifman.t -> rho:int -> dirty:int list -> int list

@@ -8,6 +8,7 @@ let () =
       ("par", Test_par.suite);
       ("relational", Test_relational.suite);
       ("incremental", Test_incremental.suite);
+      ("perf", Test_perf.suite);
       ("logic", Test_logic.suite);
       ("trees", Test_trees.suite);
       ("xml", Test_xml.suite);

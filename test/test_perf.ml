@@ -1,0 +1,257 @@
+(* The neighborhood fast path (DESIGN.md 5.9): shared sphere cache,
+   member-scan dedupe, CSR adjacency and exact partition refinement must
+   be pure speedups — bit-identical to the preserved pre-fast-path
+   pipeline (Neighborhood_ref) for any structure, tuple set, job count
+   and cache setting. *)
+
+open Wm_util
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let equal_index (a : Neighborhood.index) (b : Neighborhood.index) =
+  a.rho = b.rho && a.arity = b.arity
+  && Tuple.Map.equal Int.equal a.types b.types
+  && a.representatives = b.representatives
+
+let random_graph g =
+  let n = 4 + Prng.int g 10 in
+  let edges = 1 + Prng.int g (2 * n) in
+  (Wm_workload.Random_struct.graph g ~n ~max_degree:4 ~edges).Weighted.graph
+
+(* --- fast path == reference, universe and explicit tuple lists ------- *)
+
+let prop_universe_matches_ref =
+  QCheck.Test.make ~count:40 ~name:"index_universe == reference pipeline"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = Prng.create (0x5EED + seed) in
+      let base = random_graph g in
+      let rho = Prng.int g 3 in
+      let arity = 1 + Prng.int g 2 in
+      equal_index
+        (Neighborhood.index_universe base ~rho ~arity)
+        (Neighborhood_ref.index_universe base ~rho ~arity))
+
+let prop_list_matches_ref =
+  (* explicit tuple lists, duplicates included: the fast path must dedupe
+     and number types exactly like the reference *)
+  QCheck.Test.make ~count:40 ~name:"index (tuple list) == reference pipeline"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = Prng.create (0x715 + seed) in
+      let base = random_graph g in
+      let n = Structure.size base in
+      let rho = Prng.int g 3 in
+      let arity = 1 + Prng.int g 2 in
+      let tuples =
+        List.init
+          (1 + Prng.int g (3 * n))
+          (fun _ -> Tuple.of_list (List.init arity (fun _ -> Prng.int g n)))
+      in
+      equal_index
+        (Neighborhood.index base ~rho tuples)
+        (Neighborhood_ref.index base ~rho tuples))
+
+let prop_cache_off_identity =
+  QCheck.Test.make ~count:40 ~name:"sphere cache on/off is bit-identical"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = Prng.create (0xCAC4E + seed) in
+      let base = random_graph g in
+      let rho = Prng.int g 3 in
+      let arity = 1 + Prng.int g 2 in
+      equal_index
+        (Neighborhood.index_universe ~sphere_cache:false base ~rho ~arity)
+        (Neighborhood.index_universe base ~rho ~arity))
+
+let prop_jobs_independent =
+  QCheck.Test.make ~count:20 ~name:"fast path is job-count independent"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = Prng.create (0x90B5 + seed) in
+      let base = random_graph g in
+      let rho = 1 + Prng.int g 2 in
+      equal_index
+        (Neighborhood.index_universe ~jobs:1 base ~rho ~arity:2)
+        (Neighborhood.index_universe ~jobs:2 base ~rho ~arity:2))
+
+(* --- reindex over edit scripts == reference from scratch ------------- *)
+
+let random_script g base steps =
+  let cur = ref base in
+  let script = ref [] in
+  for _ = 1 to steps do
+    let size = Structure.size !cur in
+    let edit =
+      match Prng.int g 5 with
+      | 0 | 1 ->
+          Structure.Insert_tuple
+            ("E", Tuple.pair (Prng.int g size) (Prng.int g size))
+      | 2 -> (
+          match Relation.to_list (Structure.relation !cur "E") with
+          | [] ->
+              Structure.Insert_tuple
+                ("E", Tuple.pair (Prng.int g size) (Prng.int g size))
+          | ts ->
+              Structure.Delete_tuple
+                ("E", List.nth ts (Prng.int g (List.length ts))))
+      | 3 -> Structure.Add_element None
+      | _ ->
+          if size > 2 then Structure.Remove_element (size - 1)
+          else Structure.Add_element None
+    in
+    let cur', _ = Structure.apply_edit !cur edit in
+    cur := cur';
+    script := edit :: !script
+  done;
+  List.rev !script
+
+let prop_reindex_matches_ref =
+  (* incremental fast path against the reference pipeline from scratch:
+     crosses the anchor/splice logic with the old implementation *)
+  QCheck.Test.make ~count:30 ~name:"reindex == reference from scratch"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = Prng.create (0x2E1D + seed) in
+      let base = random_graph g in
+      let rho = Prng.int g 3 in
+      let arity = 1 + Prng.int g 2 in
+      let prev = Neighborhood.index_universe base ~rho ~arity in
+      let script = random_script g base (1 + Prng.int g 5) in
+      let edited, dirty = Structure.apply_edits base script in
+      let inc = Neighborhood.reindex ~threshold:2.0 ~old:base edited ~prev ~dirty in
+      equal_index inc (Neighborhood_ref.index_universe edited ~rho ~arity))
+
+(* --- certificates ----------------------------------------------------- *)
+
+let prop_certificate_gf_invariant =
+  (* supplying the precomputed Gaifman graph (the fast path does) never
+     changes the certificate, and preps agree with the one-shot API *)
+  QCheck.Test.make ~count:40 ~name:"certificate invariant under ?gf"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = Prng.create (0xCE27 + seed) in
+      let base = random_graph g in
+      let gf = Gaifman.of_structure base in
+      let n = Structure.size base in
+      let c = Tuple.pair (Prng.int g n) (Prng.int g n) in
+      let nb = Neighborhood.of_tuple base gf ~rho:1 c in
+      let gf_sub = Gaifman.of_structure nb.Neighborhood.sub in
+      let plain = Iso.certificate nb.Neighborhood.sub nb.Neighborhood.center in
+      plain = Iso.certificate ~gf:gf_sub nb.Neighborhood.sub nb.Neighborhood.center
+      && plain
+         = Iso.certificate_of_prep
+             (Iso.prep ~gf:gf_sub nb.Neighborhood.sub nb.Neighborhood.center))
+
+(* --- CSR adjacency ---------------------------------------------------- *)
+
+let prop_of_tuples_matches_of_structure =
+  QCheck.Test.make ~count:40 ~name:"Gaifman.of_tuples == of_structure"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = Prng.create (0xC52 + seed) in
+      let base = random_graph g in
+      let n = Structure.size base in
+      let tuples =
+        Structure.fold_relations
+          (fun _ r acc -> Relation.fold (fun t acc -> t :: acc) r acc)
+          base []
+      in
+      let a = Gaifman.of_structure base in
+      let b = Gaifman.of_tuples ~n tuples in
+      Gaifman.size a = Gaifman.size b
+      && List.for_all
+           (fun x -> Gaifman.neighbors a x = Gaifman.neighbors b x)
+           (Structure.universe base))
+
+(* --- streaming enumeration -------------------------------------------- *)
+
+let cons_list_all_tuples n arity =
+  (* the original n^arity construction, verbatim *)
+  let rec go k acc =
+    if k = 0 then acc
+    else
+      go (k - 1)
+        (List.concat_map (fun rest -> List.init n (fun x -> x :: rest)) acc)
+  in
+  List.map Tuple.of_list (go arity [ [] ])
+
+let test_all_tuples_order () =
+  List.iter
+    (fun (n, arity) ->
+      let g = Structure.create Schema.graph n in
+      check bool
+        (Printf.sprintf "n=%d arity=%d" n arity)
+        true
+        (Neighborhood.all_tuples g ~arity = cons_list_all_tuples n arity))
+    [ (1, 0); (4, 0); (3, 1); (4, 2); (3, 3); (2, 4) ]
+
+(* --- observability of the fast path ----------------------------------- *)
+
+let counter_of snap name =
+  match List.assoc_opt name snap.Wm_obs.Obs.counters with
+  | Some v -> v
+  | None -> 0
+
+let with_stats f =
+  let was = Wm_obs.Obs.enabled () in
+  Wm_obs.Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Wm_obs.Obs.set_enabled was) f
+
+let test_cache_counters () =
+  with_stats @@ fun () ->
+  let g = Prng.create 0xFA57 in
+  let base =
+    (Wm_workload.Random_struct.graph g ~n:24 ~max_degree:4 ~edges:40)
+      .Weighted.graph
+  in
+  let n = Structure.size base in
+  let before = Wm_obs.Obs.snapshot () in
+  ignore (Neighborhood.index_universe base ~rho:2 ~arity:2);
+  let d = Wm_obs.Obs.diff ~since:before (Wm_obs.Obs.snapshot ()) in
+  (* every element's sphere is extracted by BFS exactly once ... *)
+  check int "spheres = one BFS per element" n (counter_of d "nbh.spheres");
+  (* ... every further lookup hits the cache (2 lookups per tuple, n^2
+     tuples, n misses) *)
+  check int "cache hits" ((2 * n * n) - n) (counter_of d "nbh.sphere_cache_hits");
+  check bool "member scans deduped" true (counter_of d "nbh.subs_deduped" > 0);
+  check bool "refinement rounds counted" true
+    (counter_of d "nbh.refine_rounds" > 0)
+
+let test_iso_checks_no_worse_than_ref () =
+  (* satellite (a): deep bucket keys may not do more exact isomorphism
+     tests than the reference's Hashtbl.hash keys *)
+  with_stats @@ fun () ->
+  let g = Prng.create 41 in
+  let base =
+    (Wm_workload.Random_struct.graph g ~n:80 ~max_degree:5 ~edges:150)
+      .Weighted.graph
+  in
+  let before = Wm_obs.Obs.snapshot () in
+  let ix = Neighborhood.index_universe base ~rho:2 ~arity:1 in
+  let mid = Wm_obs.Obs.snapshot () in
+  let ix_ref = Neighborhood_ref.index_universe base ~rho:2 ~arity:1 in
+  let after = Wm_obs.Obs.snapshot () in
+  check bool "same result" true (equal_index ix ix_ref);
+  let fast = counter_of (Wm_obs.Obs.diff ~since:before mid) "nbh.iso_checks" in
+  let slow = counter_of (Wm_obs.Obs.diff ~since:mid after) "nbh.ref.iso_checks" in
+  check bool
+    (Printf.sprintf "fast %d <= ref %d" fast slow)
+    true (fast <= slow)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_universe_matches_ref;
+    QCheck_alcotest.to_alcotest prop_list_matches_ref;
+    QCheck_alcotest.to_alcotest prop_cache_off_identity;
+    QCheck_alcotest.to_alcotest prop_jobs_independent;
+    QCheck_alcotest.to_alcotest prop_reindex_matches_ref;
+    QCheck_alcotest.to_alcotest prop_certificate_gf_invariant;
+    QCheck_alcotest.to_alcotest prop_of_tuples_matches_of_structure;
+    Alcotest.test_case "all_tuples order" `Quick test_all_tuples_order;
+    Alcotest.test_case "fast-path cache counters" `Quick test_cache_counters;
+    Alcotest.test_case "iso checks <= reference" `Quick
+      test_iso_checks_no_worse_than_ref;
+  ]
