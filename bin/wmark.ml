@@ -417,7 +417,7 @@ let perturb_cmd =
 
 let attack_cmd =
   let run file query params results rho epsilon seed jobs stats trace bits
-      redundancies csv json =
+      redundancies csv json only =
     handle @@ fun () ->
     set_jobs jobs;
     with_obs ~stats ~trace @@ fun () ->
@@ -431,8 +431,9 @@ let attack_cmd =
     let q = parse_query ~query ~params ~results in
     let options = { Local_scheme.seed; rho; epsilon; selection = `Greedy } in
     let redundancies = if redundancies = [] then [ 1; 3; 5 ] else redundancies in
+    let only = if only = [] then None else Some only in
     match
-      Attack_suite.run ~options ~seed ~redundancies ~message_bits:bits
+      Attack_suite.run ~options ~seed ~redundancies ~message_bits:bits ?only
         ~workload ws q
     with
     | Error e -> failwith e
@@ -470,15 +471,131 @@ let attack_cmd =
     let doc = "Also write the grid as JSON to $(docv)." in
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
   in
+  let only =
+    let doc =
+      "Replay only the listed grid cell index; repeatable.  Cells keep \
+       the PRNG of their grid position (reported as grid_index/cell_seed \
+       in the CSV, JSON and trace spans), so the replayed numbers are \
+       identical to the full sweep's."
+    in
+    Arg.(value & opt_all int [] & info [ "only" ] ~docv:"INDEX" ~doc)
+  in
   Cmd.v
     (Cmd.info "attack"
        ~doc:
          "Run the deterministic attack-survivability grid: mark, attack \
-          (weight-level and structural), realign, detect.")
+          (weight-level and structural), realign, detect, repair, \
+          re-detect.")
     Term.(
       const run $ file $ query_dflt $ params_term $ results_term $ rho_term
       $ epsilon_term $ seed_term $ jobs_term $ stats_term $ trace_term $ bits
-      $ redundancies $ csv $ json)
+      $ redundancies $ csv $ json $ only)
+
+(* ------------------------------------------------------------------ *)
+(* audit / repair — tamper localization and detect-and-recover *)
+
+let key_term =
+  let doc = "Certificate key (must match between protect and audit)." in
+  Arg.(
+    value
+    & opt int Recovery.default_options.Recovery.key
+    & info [ "key" ] ~docv:"KEY" ~doc)
+
+let copies_term =
+  let doc = "Certificate copies per group (redundant replication)." in
+  Arg.(
+    value
+    & opt int
+        Recovery.default_options.Recovery.redundancy
+    & info [ "copies" ] ~docv:"N" ~doc)
+
+let group_size_term =
+  let doc = "Maximum elements per Gaifman-local group." in
+  Arg.(
+    value
+    & opt int
+        Recovery.default_options.Recovery.group_size
+    & info [ "group-size" ] ~docv:"N" ~doc)
+
+let recovery_options ~key ~copies ~group_size =
+  { Recovery.key; redundancy = copies; group_size }
+
+let audit_cmd =
+  let run marked suspect key copies group_size jobs stats trace json =
+    handle @@ fun () ->
+    set_jobs jobs;
+    with_obs ~stats ~trace @@ fun () ->
+    let mws = Textio.load marked in
+    let sus = Textio.load suspect in
+    let cap =
+      Recovery.protect ~options:(recovery_options ~key ~copies ~group_size) mws
+    in
+    let a = Recovery.audit cap ~suspect:sus in
+    print_string (Recovery.render_audit cap a);
+    match json with
+    | None -> ()
+    | Some out ->
+        Json.to_file out (Recovery.audit_json cap a);
+        Printf.printf "wrote %s\n" out
+  in
+  let marked = Arg.(required & pos 0 (some file) None & info [] ~docv:"MARKED") in
+  let suspect = Arg.(required & pos 1 (some file) None & info [] ~docv:"SUSPECT") in
+  let json =
+    let doc = "Also write the tamper map as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Localize tampering: partition the marked copy into Gaifman-local \
+          groups, verify each group of the suspect against its keyed \
+          certificate, print the intact/distorted/erased/blind map.")
+    Term.(
+      const run $ marked $ suspect $ key_term $ copies_term $ group_size_term
+      $ jobs_term $ stats_term $ trace_term $ json)
+
+let repair_cmd =
+  let run marked suspect key copies group_size jobs stats trace out json =
+    handle @@ fun () ->
+    set_jobs jobs;
+    with_obs ~stats ~trace @@ fun () ->
+    let mws = Textio.load marked in
+    let sus = Textio.load suspect in
+    let cap =
+      Recovery.protect ~options:(recovery_options ~key ~copies ~group_size) mws
+    in
+    let repaired, report = Recovery.repair cap ~suspect:sus in
+    Textio.save out repaired;
+    print_string (Recovery.render_audit cap report.Recovery.findings);
+    Printf.printf
+      "repaired %d/%d damaged groups (%d unrepairable); restored %d \
+       weights, %d elements, %d tuples; confidence %.2f\nwrote %s\n"
+      report.Recovery.repaired
+      (report.Recovery.repaired + report.Recovery.unrepairable)
+      report.Recovery.unrepairable report.Recovery.restored_weights
+      report.Recovery.restored_elements report.Recovery.restored_tuples
+      report.Recovery.confidence out;
+    match json with
+    | None -> ()
+    | Some jout ->
+        Json.to_file jout (Recovery.repair_json report);
+        Printf.printf "wrote %s\n" jout
+  in
+  let marked = Arg.(required & pos 0 (some file) None & info [] ~docv:"MARKED") in
+  let suspect = Arg.(required & pos 1 (some file) None & info [] ~docv:"SUSPECT") in
+  let json =
+    let doc = "Also write the repair report as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Best-effort restoration of a tampered copy from its surviving \
+          keyed certificates; run wmark detect against the repaired output \
+          for the repair-then-detect pipeline.")
+    Term.(
+      const run $ marked $ suspect $ key_term $ copies_term $ group_size_term
+      $ jobs_term $ stats_term $ trace_term $ out_term $ json)
 
 (* multi-query mark/detect: -q can be repeated; all queries share the
    default u/v variable convention. *)
@@ -695,7 +812,8 @@ let main =
     (Cmd.info "wmark" ~version:"1.0.0" ~doc)
     [
       info_cmd; mark_cmd; detect_cmd; update_cmd; multi_mark_cmd;
-      multi_detect_cmd; capacity_cmd; vc_cmd; perturb_cmd; attack_cmd; gen_travel_cmd;
+      multi_detect_cmd; capacity_cmd; vc_cmd; perturb_cmd; attack_cmd;
+      audit_cmd; repair_cmd; gen_travel_cmd;
       gen_school_cmd; gen_biblio_cmd; xml_mark_cmd; xml_detect_cmd;
     ]
 

@@ -87,6 +87,7 @@ module Detector = Wm_watermark.Detector
 module Adversary = Wm_watermark.Adversary
 module Robust = Wm_watermark.Robust
 module Survivable = Wm_watermark.Survivable
+module Recovery = Wm_watermark.Recovery
 module Attack_suite = Wm_watermark.Attack_suite
 module Capacity = Wm_watermark.Capacity
 module Incremental = Wm_watermark.Incremental

@@ -223,3 +223,34 @@ let connected_components g =
     end
   done;
   List.rev !comps
+
+(* Gaifman-local groups: BFS growth from the lowest unassigned element,
+   capped at [max_size] members.  The frontier is a FIFO over ascending
+   neighbor rows, so the partition is a deterministic function of the
+   graph alone — the marker and the auditor derive the same groups
+   independently, exactly like the scheme's pair list. *)
+let local_groups g ~max_size =
+  if max_size < 1 then invalid_arg "Gaifman.local_groups: max_size < 1";
+  let n = size g in
+  let assigned = Array.make n false in
+  let groups = ref [] in
+  for seed = 0 to n - 1 do
+    if not assigned.(seed) then begin
+      let members = ref [] and count = ref 0 in
+      let q = Queue.create () in
+      assigned.(seed) <- true;
+      Queue.add seed q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        members := u :: !members;
+        incr count;
+        iter_neighbors g u (fun v ->
+            if (not assigned.(v)) && !count + Queue.length q < max_size then begin
+              assigned.(v) <- true;
+              Queue.add v q
+            end)
+      done;
+      groups := List.sort icmp !members :: !groups
+    end
+  done;
+  Array.of_list (List.rev !groups)

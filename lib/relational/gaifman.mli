@@ -60,3 +60,14 @@ val sphere_tuple : t -> rho:int -> Tuple.t -> int list
 (** S_rho of a tuple: union of the element spheres, sorted. *)
 
 val connected_components : t -> int list list
+
+val local_groups : t -> max_size:int -> int list array
+(** Deterministic partition of the universe into {e Gaifman-local groups}:
+    each group is a connected (in this graph) set of at most [max_size]
+    elements, grown by BFS from the lowest unassigned element, neighbors
+    in ascending order; isolated elements form singleton groups.  Groups
+    never span connected components, so by Gaifman locality an edit can
+    only dirty the groups whose elements its dirty set touches (plus
+    their rho-spheres).  The recovery layer partitions its integrity
+    certificates along these groups.  Sorted members, groups in seed
+    (first-element) order; every element belongs to exactly one group. *)

@@ -4,6 +4,8 @@ type attack =
   | Rounding of { multiple : int }
   | Constant_offset of { delta : int }
   | Back_to_original of { original : Weighted.t; fraction : float }
+  | Mix_and_match of { other : Weighted.t; fraction : float }
+  | Targeted_offset of { pairs : Pairing.pair list; delta : int }
 
 let apply g attack ~active w =
   match attack with
@@ -37,6 +39,24 @@ let apply g attack ~active w =
             Weighted.set w t (Weighted.get original t)
           else w)
         w active
+  | Mix_and_match { other; fraction } ->
+      (* Kamran–Farooq mix-and-match: splice in the corresponding weights
+         of a second marked copy the attacker bought — carriers whose
+         donor copy encodes the complementary bit flip sign. *)
+      List.fold_left
+        (fun w t ->
+          if Prng.bernoulli g fraction then Weighted.set w t (Weighted.get other t)
+          else w)
+        w active
+  | Targeted_offset { pairs; delta } ->
+      (* A recovery-aware attacker who learned the pair list shifts BOTH
+         endpoints of each pair by the same delta: the weight-difference
+         detector is provably blind to it, only a content audit sees the
+         distortion. *)
+      List.fold_left
+        (fun w { Pairing.fst; snd } ->
+          Weighted.add_delta (Weighted.add_delta w fst delta) snd delta)
+        w pairs
 
 let describe = function
   | Uniform_noise { amplitude } -> Printf.sprintf "uniform noise +-%d" amplitude
@@ -46,6 +66,11 @@ let describe = function
   | Constant_offset { delta } -> Printf.sprintf "offset %+d" delta
   | Back_to_original { fraction; _ } ->
       Printf.sprintf "reset %.0f%% to a leaked copy" (100. *. fraction)
+  | Mix_and_match { fraction; _ } ->
+      Printf.sprintf "mix-and-match %.0f%% from a second copy" (100. *. fraction)
+  | Targeted_offset { pairs; delta } ->
+      Printf.sprintf "pairwise offset %+d on %d known pairs" delta
+        (List.length pairs)
 
 let global_budget_used qs ~before ~after = Distortion.global qs before after
 

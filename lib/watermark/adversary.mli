@@ -34,6 +34,19 @@ type attack =
       (** Reset a random fraction of active weights to their values in
           another copy the attacker obtained (models partial knowledge
           leakage; fraction 1.0 erases the mark completely). *)
+  | Mix_and_match of { other : Weighted.t; fraction : float }
+      (** Splice a random fraction of active weights from a {e second
+          marked copy} (Kamran–Farooq mix-and-match, arXiv:1801.08271):
+          each spliced carrier votes for the other copy's message, so
+          majorities flip without the distortion budget ever exceeding
+          the marking amplitude. *)
+  | Targeted_offset of { pairs : Pairing.pair list; delta : int }
+      (** A recovery-aware attacker who learned the scheme's pair list
+          shifts {e both} endpoints of every pair by the same delta.
+          Weight-difference detection is provably blind to it
+          ({!Detector.read} sees unchanged differences); only a
+          content-level audit ({!Recovery.audit}) registers the
+          distortion. *)
 
 val apply :
   Prng.t -> attack -> active:Tuple.t list -> Weighted.t -> Weighted.t

@@ -10,14 +10,60 @@ type spec =
   | Weights of Adversary.attack
   | Structural of Adversary.structural
   | Edited of Adversary.edit_attack
+  | Mixed of { fraction : float }
+  | Informed_offset of { delta : int }
+  | Capsule_mix of { fraction : float }
 
 let describe_spec = function
   | Weights a -> Adversary.describe a
   | Structural a -> Adversary.describe_structural a
   | Edited a -> Adversary.describe_edit a
+  | Mixed { fraction } ->
+      Printf.sprintf "mix-and-match %.0f%% (second copy)" (100. *. fraction)
+  | Informed_offset { delta } -> Printf.sprintf "informed pair offset %+d" delta
+  | Capsule_mix { fraction } ->
+      Printf.sprintf "mix-and-match %.0f%% + spliced certificates"
+        (100. *. fraction)
+
+(* Machine-readable parameters: enough, together with the master seed and
+   the grid index, to replay any cell standalone ([wmark attack --only]). *)
+let spec_params = function
+  | Weights (Adversary.Uniform_noise { amplitude }) ->
+      Printf.sprintf "uniform_noise:amplitude=%d" amplitude
+  | Weights (Adversary.Random_flips { count; amplitude }) ->
+      Printf.sprintf "random_flips:count=%d,amplitude=%d" count amplitude
+  | Weights (Adversary.Rounding { multiple }) ->
+      Printf.sprintf "rounding:multiple=%d" multiple
+  | Weights (Adversary.Constant_offset { delta }) ->
+      Printf.sprintf "constant_offset:delta=%d" delta
+  | Weights (Adversary.Back_to_original { fraction; _ }) ->
+      Printf.sprintf "back_to_original:fraction=%g" fraction
+  | Weights (Adversary.Mix_and_match { fraction; _ }) ->
+      Printf.sprintf "mix_and_match:fraction=%g" fraction
+  | Weights (Adversary.Targeted_offset { delta; pairs }) ->
+      Printf.sprintf "targeted_offset:delta=%d,pairs=%d" delta
+        (List.length pairs)
+  | Structural (Adversary.Delete_tuples { fraction }) ->
+      Printf.sprintf "delete_tuples:fraction=%g" fraction
+  | Structural (Adversary.Subset_sample { keep }) ->
+      Printf.sprintf "subset_sample:keep=%g" keep
+  | Structural (Adversary.Insert_noise_tuples { count; amplitude }) ->
+      Printf.sprintf "insert_noise:count=%d,amplitude=%d" count amplitude
+  | Structural Adversary.Shuffle_universe -> "shuffle_universe"
+  | Edited (Adversary.Drop_relation_tuples { fraction }) ->
+      Printf.sprintf "drop_relation_tuples:fraction=%g" fraction
+  | Edited (Adversary.Graft_elements { count; amplitude }) ->
+      Printf.sprintf "graft_elements:count=%d,amplitude=%d" count amplitude
+  | Mixed { fraction } -> Printf.sprintf "mixed:fraction=%g" fraction
+  | Informed_offset { delta } -> Printf.sprintf "informed_offset:delta=%d" delta
+  | Capsule_mix { fraction } ->
+      Printf.sprintf "capsule_mix:fraction=%g" fraction
 
 type outcome = {
   attack : string;
+  grid_index : int;
+  cell_seed : int;
+  params : string;
   redundancy : int;
   bits : int;
   carriers : int;
@@ -30,6 +76,13 @@ type outcome = {
   recovered : bool;
   naive_recovered : bool;
   type_drift : bool option;
+  rec_recovered : bool;
+  recovered_bits : int;
+  false_repairs : int;
+  groups_repaired : int;
+  groups_unrepairable : int;
+  groups_distorted : int;
+  groups_erased : int;
 }
 
 type report = {
@@ -60,6 +113,14 @@ let default_grid ~active =
     Edited (Adversary.Drop_relation_tuples { fraction = 0.1 });
     Edited (Adversary.Drop_relation_tuples { fraction = 0.3 });
     Edited (Adversary.Graft_elements { count = tenth; amplitude = 999 });
+    (* Recovery-aware rows (appended, same reason): mix-and-match against
+       a second marked copy, an informed pairwise offset the detector is
+       blind to, and mix-and-match with spliced certificate capsules —
+       the false-repair hazard. *)
+    Mixed { fraction = 0.3 };
+    Mixed { fraction = 0.6 };
+    Informed_offset { delta = 5 };
+    Capsule_mix { fraction = 0.5 };
   ]
 
 (* A deterministic per-cell generator: the cell's position in the grid is
@@ -68,7 +129,7 @@ let cell_prng ~seed ~redundancy ~index =
   Prng.create ((seed * 1_000_003) + (redundancy * 1009) + index)
 
 let run ?jobs ?(options = Local_scheme.default_options) ?(seed = 0xA77AC)
-    ?(redundancies = [ 1; 3; 5 ]) ?(message_bits = 4) ?grid ?workload
+    ?(redundancies = [ 1; 3; 5 ]) ?(message_bits = 4) ?grid ?only ?workload
     (ws : Weighted.structure) q =
   match Local_scheme.prepare ~options ws q with
   | Error e -> Error ("attack suite: " ^ e)
@@ -95,23 +156,81 @@ let run ?jobs ?(options = Local_scheme.default_options) ?(seed = 0xA77AC)
            (sequentially — it is cheap and shared), the cells carry their
            own PRNG seeded by grid position, so the row list is identical
            to the sequential sweep for every job count. *)
+        (* The complement-marked second copy the mix-and-match rows splice
+           from, and the certificate capsules of both copies. *)
+        let other_message =
+          Codec.of_int ~bits:message_bits
+            (lnot (Codec.to_int message) land ((1 lsl message_bits) - 1))
+        in
         let cells =
           List.concat_map
             (fun times ->
               let marked = Robust.mark base ~times message ws.Weighted.weights in
               let marked_ws = { ws with Weighted.weights = marked } in
+              let cap = Recovery.protect marked_ws in
+              let other =
+                Robust.mark base ~times other_message ws.Weighted.weights
+              in
+              let other_cap =
+                Recovery.protect { ws with Weighted.weights = other }
+              in
               List.mapi
-                (fun index spec -> (times, marked, marked_ws, index, spec))
+                (fun index spec ->
+                  (times, marked, marked_ws, cap, other, other_cap, index, spec))
                 grid)
             usable
         in
+        let cells =
+          match only with
+          | None -> cells
+          | Some keep ->
+              (* filter AFTER indexing: a replayed cell keeps the PRNG of
+                 its original grid position *)
+              List.filter
+                (fun (_, _, _, _, _, _, index, _) -> List.mem index keep)
+                cells
+        in
         let base_ix = Local_scheme.index scheme in
-        let run_cell (times, marked, marked_ws, index, spec) =
+        let run_cell (times, marked, marked_ws, cap, other, other_cap, index, spec)
+            =
           let g = cell_prng ~seed ~redundancy:times ~index in
+          let capsule = ref cap in
           let suspect_ws, distortion, type_drift =
             match spec with
             | Weights a ->
                 let attacked = Adversary.apply g a ~active marked in
+                ( { ws with Weighted.weights = attacked },
+                  Some (Distortion.global qs marked attacked),
+                  None )
+            | Mixed { fraction } ->
+                let attacked =
+                  Adversary.apply g
+                    (Adversary.Mix_and_match { other; fraction })
+                    ~active marked
+                in
+                ( { ws with Weighted.weights = attacked },
+                  Some (Distortion.global qs marked attacked),
+                  None )
+            | Informed_offset { delta } ->
+                let attacked =
+                  Adversary.apply g
+                    (Adversary.Targeted_offset
+                       { pairs = Local_scheme.pairs scheme; delta })
+                    ~active marked
+                in
+                ( { ws with Weighted.weights = attacked },
+                  Some (Distortion.global qs marked attacked),
+                  None )
+            | Capsule_mix { fraction } ->
+                (* weights AND certificates from the second copy: the
+                   surviving records are authentic but describe the other
+                   marking — repair can now be actively wrong *)
+                let attacked =
+                  Adversary.apply g
+                    (Adversary.Mix_and_match { other; fraction })
+                    ~active marked
+                in
+                capsule := Recovery.splice g ~fraction !capsule ~other:other_cap;
                 ( { ws with Weighted.weights = attacked },
                   Some (Distortion.global qs marked attacked),
                   None )
@@ -150,8 +269,20 @@ let run ?jobs ?(options = Local_scheme.default_options) ?(seed = 0xA77AC)
               ~original:ws.Weighted.weights
               ~server:(Query_system.server qs suspect_ws.Weighted.weights)
           in
+          (* Repair-then-detect: audit the suspect against the capsule,
+             restore what the surviving certificates support, re-run the
+             survivable detector on the repaired copy. *)
+          let rv_rep, rep_report, _ =
+            Recovery.detect_repaired ~jobs:1 !capsule scheme ~times
+              ~length:message_bits ~original:ws ~suspect:suspect_ws
+          in
+          let rep_bit_errors = Codec.hamming message rv_rep.Survivable.message in
+          let findings = rep_report.Recovery.findings in
           {
             attack = describe_spec spec;
+            grid_index = index;
+            cell_seed = (seed * 1_000_003) + (times * 1009) + index;
+            params = spec_params spec;
             redundancy = times;
             bits = message_bits;
             carriers;
@@ -164,12 +295,25 @@ let run ?jobs ?(options = Local_scheme.default_options) ?(seed = 0xA77AC)
             recovered = Bitvec.equal message rv.Survivable.message;
             naive_recovered = Bitvec.equal message naive;
             type_drift;
+            rec_recovered = Bitvec.equal message rv_rep.Survivable.message;
+            recovered_bits = max 0 (bit_errors - rep_bit_errors);
+            false_repairs = max 0 (rep_bit_errors - bit_errors);
+            groups_repaired = rep_report.Recovery.repaired;
+            groups_unrepairable = rep_report.Recovery.unrepairable;
+            groups_distorted = findings.Recovery.distorted;
+            groups_erased = findings.Recovery.erased;
           }
         in
-        let timed_cell ((times, _, _, _, spec) as cell) =
+        let timed_cell ((times, _, _, _, _, _, index, spec) as cell) =
           Obs.incr c_cells;
+          (* seed + parameters in the span detail: any cell in a trace is
+             replayable standalone (wmark attack --seed S --only I). *)
           Obs.span
-            ~detail:(Printf.sprintf "%s R=%d" (describe_spec spec) times)
+            ~detail:
+              (Printf.sprintf "%s R=%d idx=%d seed=%d [%s]"
+                 (describe_spec spec) times index
+                 ((seed * 1_000_003) + (times * 1009) + index)
+                 (spec_params spec))
             t_cell
             (fun () -> run_cell cell)
         in
@@ -188,7 +332,7 @@ let run ?jobs ?(options = Local_scheme.default_options) ?(seed = 0xA77AC)
       end
 
 let csv_header =
-  "attack,redundancy,bits,carriers,erased,erasure_rate,bit_errors,ber,pvalue,distortion,recovered,naive_recovered,type_drift"
+  "attack,grid_index,cell_seed,params,redundancy,bits,carriers,erased,erasure_rate,bit_errors,ber,pvalue,distortion,recovered,naive_recovered,type_drift,rec_recovered,recovered_bits,false_repairs,groups_repaired,groups_unrepairable,groups_distorted,groups_erased"
 
 let to_csv r =
   let buf = Buffer.create 1024 in
@@ -197,12 +341,15 @@ let to_csv r =
   List.iter
     (fun o ->
       Buffer.add_string buf
-        (Printf.sprintf "%S,%d,%d,%d,%d,%.4f,%d,%.4f,%.3g,%s,%b,%b,%s\n"
-           o.attack o.redundancy o.bits o.carriers o.erased o.erasure_rate
-           o.bit_errors o.ber o.pvalue
+        (Printf.sprintf
+           "%S,%d,%d,%S,%d,%d,%d,%d,%.4f,%d,%.4f,%.3g,%s,%b,%b,%s,%b,%d,%d,%d,%d,%d,%d\n"
+           o.attack o.grid_index o.cell_seed o.params o.redundancy o.bits
+           o.carriers o.erased o.erasure_rate o.bit_errors o.ber o.pvalue
            (match o.distortion with Some d -> string_of_int d | None -> "")
            o.recovered o.naive_recovered
-           (match o.type_drift with Some b -> string_of_bool b | None -> "")))
+           (match o.type_drift with Some b -> string_of_bool b | None -> "")
+           o.rec_recovered o.recovered_bits o.false_repairs o.groups_repaired
+           o.groups_unrepairable o.groups_distorted o.groups_erased))
     r.rows;
   Buffer.contents buf
 
@@ -224,7 +371,17 @@ let outcome_to_json o =
         ("recovered", Bool o.recovered);
         ("naive_recovered", Bool o.naive_recovered);
         ( "type_drift",
-          match o.type_drift with Some b -> Bool b | None -> Null );
+          (match o.type_drift with Some b -> Bool b | None -> Null) );
+        ("grid_index", Int o.grid_index);
+        ("cell_seed", Int o.cell_seed);
+        ("params", String o.params);
+        ("rec_recovered", Bool o.rec_recovered);
+        ("recovered_bits", Int o.recovered_bits);
+        ("false_repairs", Int o.false_repairs);
+        ("groups_repaired", Int o.groups_repaired);
+        ("groups_unrepairable", Int o.groups_unrepairable);
+        ("groups_distorted", Int o.groups_distorted);
+        ("groups_erased", Int o.groups_erased);
       ])
 
 let to_json r =
@@ -244,20 +401,22 @@ let render r =
     Texttab.create
       [
         "attack"; "R"; "erased"; "BER"; "p-value"; "d'"; "survivable";
-        "aligned"; "types";
+        "aligned"; "types"; "repaired"; "+bits"; "false";
       ]
   in
   List.iter
     (fun o ->
-      Texttab.addf t "%s|%d|%d/%d|%.2f|%.2g|%s|%s|%s|%s" o.attack o.redundancy
-        o.erased o.carriers o.ber o.pvalue
+      Texttab.addf t "%s|%d|%d/%d|%.2f|%.2g|%s|%s|%s|%s|%s|%d|%d" o.attack
+        o.redundancy o.erased o.carriers o.ber o.pvalue
         (match o.distortion with Some d -> string_of_int d | None -> "-")
         (if o.recovered then "recovered" else "LOST")
         (if o.naive_recovered then "recovered" else "LOST")
         (match o.type_drift with
         | Some true -> "drift"
         | Some false -> "stable"
-        | None -> "-"))
+        | None -> "-")
+        (if o.rec_recovered then "recovered" else "LOST")
+        o.recovered_bits o.false_repairs)
     r.rows;
   Printf.sprintf
     "workload: %s\nmessage: %d bits (%d), capacity %d, active %d\n%s"

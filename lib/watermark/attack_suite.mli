@@ -22,11 +22,37 @@ type spec =
           {!Wm_relational.Neighborhood.reindex} from the scheme's base
           index, and the cell reports whether the attack drifted the
           neighborhood-type set ({!outcome.type_drift}). *)
+  | Mixed of { fraction : float }
+      (** Mix-and-match against a {e second} copy of the same instance
+          marked with the complement message (the suite marks it
+          internally): spliced carriers vote for the other message.
+          Kamran–Farooq taxonomy, arXiv:1801.08271. *)
+  | Informed_offset of { delta : int }
+      (** {!Adversary.Targeted_offset} on the scheme's own pair list: a
+          recovery-aware attacker distorts every carrier {e identically on
+          both pair endpoints}, so weight-difference detection stays
+          blind while the content audit registers every touched group. *)
+  | Capsule_mix of { fraction : float }
+      (** {!Mixed} plus {!Recovery.splice} of the two copies' certificate
+          capsules at the same fraction: the surviving records are
+          authentic but describe the other marking, so repair can be
+          actively wrong — the false-repair hazard the
+          {!outcome.false_repairs} column measures. *)
 
 val describe_spec : spec -> string
 
+val spec_params : spec -> string
+(** Machine-readable [kind:key=value,...] parameter string — with the
+    master seed and the grid index this replays any cell standalone
+    ([wmark attack --only]). *)
+
 type outcome = {
   attack : string;
+  grid_index : int;  (** position in the grid — the replay handle *)
+  cell_seed : int;
+      (** the derived per-cell PRNG seed ((master * 1000003) + (R * 1009)
+          + index) actually used, recorded for standalone replay *)
+  params : string;  (** {!spec_params} of the cell's attack *)
   redundancy : int;
   bits : int;
   carriers : int;  (** pairs read = redundancy * bits *)
@@ -43,6 +69,19 @@ type outcome = {
       (** [Edited] cells only: did the attack create or suppress a
           neighborhood type (Theorem 8's re-mark condition), measured by
           incremental reindex against the base index *)
+  rec_recovered : bool;
+      (** repair-then-detect ({!Recovery.detect_repaired}) got the exact
+          message *)
+  recovered_bits : int;
+      (** message bits wrong before repair and right after — what the
+          certificates bought *)
+  false_repairs : int;
+      (** message bits right before repair and wrong after — repair
+          actively hurting, e.g. under [Capsule_mix] *)
+  groups_repaired : int;
+  groups_unrepairable : int;
+  groups_distorted : int;  (** audit result on the unrepaired suspect *)
+  groups_erased : int;
 }
 
 type report = {
@@ -67,6 +106,7 @@ val run :
   ?redundancies:int list ->
   ?message_bits:int ->
   ?grid:spec list ->
+  ?only:int list ->
   ?workload:string ->
   Weighted.structure ->
   Query.t ->
@@ -75,8 +115,11 @@ val run :
     {!Wm_par.Pool} task when [jobs] (default {!Wm_par.Pool.jobs})
     exceeds 1.  Every cell owns a PRNG derived from (seed, redundancy,
     grid position), so the report is bit-identical for every job count.
-    Redundancies that do not fit the capacity are skipped; [Error _]
-    when none fits or the scheme cannot be prepared. *)
+    [only] restricts the sweep to the listed grid indices {e without}
+    changing their derived PRNGs — any cell from a previous report or
+    trace span replays standalone with identical numbers.  Redundancies
+    that do not fit the capacity are skipped; [Error _] when none fits or
+    the scheme cannot be prepared. *)
 
 val to_csv : report -> string
 (** Machine-readable form, one line per cell, RFC-4180-quoted attack

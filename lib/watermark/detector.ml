@@ -8,6 +8,14 @@ let c_carriers = Obs.counter "det.carriers"
 let c_erased = Obs.counter "det.erased"
 let t_read = Obs.timer "det.read"
 
+type tamper = {
+  t_groups : int;
+  t_intact : int;
+  t_distorted : int;
+  t_erased : int;
+  t_blind : int;
+}
+
 type verdict = {
   decoded : Bitvec.t;
   erasure : Bitvec.t;
@@ -16,7 +24,14 @@ type verdict = {
   silent : int;
   erased : int;
   confidence : float;
+  tamper : tamper option;
 }
+
+let with_tamper v t = { v with tamper = Some t }
+
+let suspicion t =
+  if t.t_groups = 0 then 0.
+  else float_of_int (t.t_groups - t.t_intact) /. float_of_int t.t_groups
 
 (* What one carrier contributes, computed independently per pair — the
    unit of work the domain pool parallelizes. *)
@@ -80,6 +95,7 @@ let read ?jobs pairs ~original ~observed ~length =
     confidence =
       (if read_count = 0 then 0.
        else float_of_int (!strong + !weak) /. float_of_int read_count);
+    tamper = None;
   }
 
 let read_weights ?jobs pairs ~original ~suspect ~length =

@@ -22,6 +22,18 @@
     sign-consistency over the survivors gives a p-value for ownership
     claims. *)
 
+type tamper = {
+  t_groups : int;  (** Gaifman-local groups the recovery layer audited *)
+  t_intact : int;  (** groups whose keyed certificate verified *)
+  t_distorted : int;  (** groups whose content disagrees with the certificate *)
+  t_erased : int;  (** groups with no surviving member *)
+  t_blind : int;  (** groups with no surviving authentic certificate copy *)
+}
+(** Tamper localization, attached by {!Wm_watermark.Recovery.audit}:
+    instead of the binary "erased or ok" a carrier gives, the tamper map
+    says {e where} a suspect copy was damaged, group by group, so
+    detection degrades gracefully into localized suspicion. *)
+
 type verdict = {
   decoded : Bitvec.t;
   erasure : Bitvec.t;  (** bit i set when carrier i was erased *)
@@ -30,7 +42,18 @@ type verdict = {
   silent : int;  (** observed pairs with zero difference *)
   erased : int;  (** pairs with no observed endpoint at all *)
   confidence : float;  (** (strong + weak) / pairs surviving *)
+  tamper : tamper option;
+      (** localization report when a recovery audit ran; [None] from the
+          plain readers *)
 }
+
+val with_tamper : verdict -> tamper -> verdict
+(** Attach a recovery audit's localization to a verdict. *)
+
+val suspicion : tamper -> float
+(** Fraction of audited groups that are not intact — 0 on a pristine
+    copy, 1 when every group was distorted, erased or lost its
+    certificate. *)
 
 val read :
   ?jobs:int -> Pairing.pair list -> original:Weighted.t ->

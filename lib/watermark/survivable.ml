@@ -157,6 +157,7 @@ type robust_verdict = {
   carriers : Detector.verdict;
   times : int;
   erased_bits : int;
+  all_erased : bool;
 }
 
 let detect_robust ?jobs ~pairs ~times ~length ~original alignment =
@@ -175,7 +176,15 @@ let detect_robust ?jobs ~pairs ~times ~length ~original alignment =
     if !alive = 0 then incr erased_bits;
     Bitvec.set message i (2 * !ones > !alive)
   done;
-  { message; carriers; times; erased_bits = !erased_bits }
+  (* Total wipe-out is an explicit verdict, not a zero-trials binomial
+     call decoding to a confident all-zero message. *)
+  {
+    message;
+    carriers;
+    times;
+    erased_bits = !erased_bits;
+    all_erased = carriers.Detector.erased = times * length;
+  }
 
 let match_pvalue ~expected rv =
   Detector.match_pvalue

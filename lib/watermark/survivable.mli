@@ -68,6 +68,13 @@ type robust_verdict = {
   carriers : Detector.verdict;  (** the raw carrier-level verdict *)
   times : int;
   erased_bits : int;  (** message bits all of whose copies were erased *)
+  all_erased : bool;
+      (** {e every} carrier was erased: the message field is vacuous
+          (all-zero by the tie rule, not decoded), {!match_pvalue} is the
+          uninformative 1.0 over zero trials, and no ownership claim of
+          any kind is supported.  Callers must check this flag before
+          reading [message] — a total wipe-out is an explicit verdict,
+          not a confident all-zero decode. *)
 }
 
 val detect_robust :

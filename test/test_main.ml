@@ -15,6 +15,7 @@ let () =
       ("vc", Test_vc.suite);
       ("watermark", Test_watermark.suite);
       ("survivable", Test_survivable.suite);
+      ("recovery", Test_recovery.suite);
       ("fuzz", Test_fuzz.suite);
       ("cliquewidth", Test_cliquewidth.suite);
       ("extensions", Test_extensions.suite);

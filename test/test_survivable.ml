@@ -143,8 +143,28 @@ let test_all_erased () =
   in
   let rv, _ = survivable_detect ws scheme empty in
   check int "all message bits erased" bits rv.Survivable.erased_bits;
+  check bool "all_erased verdict is explicit" true rv.Survivable.all_erased;
   check bool "no significance claimed" true
-    (Survivable.match_pvalue ~expected:message rv >= 0.5)
+    (Survivable.match_pvalue ~expected:message rv >= 0.5);
+  (* a partial attack must NOT raise the flag *)
+  let partial =
+    Adversary.apply_structural (Prng.create 3)
+      (Adversary.Subset_sample { keep = 0.5 })
+      (let _, _, _, marked = Lazy.force prepared in marked)
+  in
+  let rv', _ = survivable_detect ws scheme partial in
+  check bool "partial survival is not all_erased" false rv'.Survivable.all_erased
+
+(* Regression pin: the zero-trials binomial is the uninformative 1.0 —
+   the value the all-erasures verdict bottoms out on — never an
+   exception or a confident 0. *)
+let test_binomial_zero_trials () =
+  check bool "p(0 trials, 0 successes) = 1" true
+    (Detector.binomial_tail ~trials:0 ~successes:0 = 1.0);
+  check bool "p(0 trials, any p) = 1" true
+    (Detector.binomial_tail_p ~p:0.25 ~trials:0 ~successes:0 = 1.0);
+  check bool "successes beyond trials impossible" true
+    (Detector.binomial_tail ~trials:0 ~successes:1 = 0.0)
 
 (* --- XML ------------------------------------------------------------- *)
 
@@ -270,6 +290,7 @@ let suite =
     ("erasures partition the carriers", `Slow, test_erasure_partition);
     ("identity alignment is total", `Slow, test_identity_alignment_is_total);
     ("total wipe-out is all erasures", `Slow, test_all_erased);
+    ("zero-trials binomial pins at 1", `Quick, test_binomial_zero_trials);
     ("xml identity alignment", `Slow, test_xml_identity_alignment);
     ("xml subtree deletion", `Slow, test_xml_delete_subtrees);
     ("xml sibling reordering", `Slow, test_xml_reorder_siblings);
