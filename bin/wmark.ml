@@ -806,6 +806,90 @@ let xml_detect_cmd =
     (Cmd.info "xml-detect" ~doc:"Read a mark back from a suspect XML document.")
     Term.(const run $ original $ suspect $ pattern_term $ bits_term $ seed_term $ block_term)
 
+(* serve — watermarking as a service over length-prefixed frames.
+
+   Requests arrive as qpwm-serve/1 frames (4-byte big-endian length +
+   text payload, see lib/serve/protocol.mli) on stdin or on a Unix
+   socket; one response frame per request.  The loop stops cleanly at
+   EOF or after answering a [shutdown] request. *)
+
+let serve_loop engine ic oc =
+  let rec go at =
+    match Frame.read ic ~at with
+    | Ok None -> `Eof
+    | Error e ->
+        (* A framing error poisons the byte stream — answer once and
+           stop rather than resynchronize on garbage. *)
+        Frame.write oc (Serve_protocol.err_payload (Frame.error_to_string e));
+        `Eof
+    | Ok (Some (payload, at')) ->
+        Frame.write oc (Serve_engine.handle engine payload);
+        if Serve_engine.stopped engine then `Shutdown else go at'
+  in
+  go 0
+
+let serve_cmd =
+  let run dir socket jobs stats trace =
+    handle @@ fun () ->
+    set_jobs jobs;
+    (* The stats endpoint and the per-endpoint serve.lat.* histograms
+       only exist while collection is on; a server always collects. *)
+    Obs.set_enabled true;
+    with_obs ~stats ~trace @@ fun () ->
+    (match dir with
+    | Some d when not (Sys.file_exists d) -> Unix.mkdir d 0o755
+    | _ -> ());
+    let engine = Serve_engine.create ?dir ?jobs () in
+    match socket with
+    | None ->
+        set_binary_mode_in stdin true;
+        set_binary_mode_out stdout true;
+        ignore (serve_loop engine stdin stdout)
+    | Some path ->
+        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        if Sys.file_exists path then Unix.unlink path;
+        Unix.bind sock (Unix.ADDR_UNIX path);
+        Unix.listen sock 16;
+        Printf.eprintf "wmark serve: listening on %s\n%!" path;
+        let rec accept_loop () =
+          let fd, _ = Unix.accept sock in
+          let ic = Unix.in_channel_of_descr fd
+          and oc = Unix.out_channel_of_descr fd in
+          set_binary_mode_in ic true;
+          set_binary_mode_out oc true;
+          let outcome = serve_loop engine ic oc in
+          (try flush oc with Sys_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          if outcome = `Shutdown then ()
+          else accept_loop ()
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.close sock with Unix.Unix_error _ -> ());
+            if Sys.file_exists path then Unix.unlink path)
+          accept_loop
+  in
+  let dir =
+    let doc =
+      "Store directory for $(b,load)/$(b,snapshot) persistence (created if \
+       missing)."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let socket =
+    let doc =
+      "Listen on a Unix domain socket instead of stdin/stdout; connections \
+       are served one at a time."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve mark/detect/update/audit requests over length-prefixed \
+          frames (qpwm-serve/1).")
+    Term.(const run $ dir $ socket $ jobs_term $ stats_term $ trace_term)
+
 let main =
   let doc = "query-preserving watermarking of relational databases and XML" in
   Cmd.group
@@ -813,7 +897,7 @@ let main =
     [
       info_cmd; mark_cmd; detect_cmd; update_cmd; multi_mark_cmd;
       multi_detect_cmd; capacity_cmd; vc_cmd; perturb_cmd; attack_cmd;
-      audit_cmd; repair_cmd; gen_travel_cmd;
+      audit_cmd; repair_cmd; serve_cmd; gen_travel_cmd;
       gen_school_cmd; gen_biblio_cmd; xml_mark_cmd; xml_detect_cmd;
     ]
 

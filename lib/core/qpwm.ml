@@ -19,6 +19,10 @@
       {!Tree_scheme}, {!Detectors via schemes}, {!Adversary}, {!Robust},
       {!Capacity}, {!Incremental}, {!Agrawal_kiernan}, {!Pipeline}:
       the watermarking core;
+    - {!Serve_store}, {!Serve_protocol}, {!Serve_engine}, {!Serve_shard},
+      {!Frame}: the [wmark serve] layer — persistent dataset store,
+      length-prefixed wire protocol, batching scheduler, and
+      Gaifman-component sharding;
     - {!Paper_examples}, {!Random_struct}, {!Shatter}, {!Grid},
       {!Trees_gen}, {!School_xml}, {!Bipartite}: workloads. *)
 
@@ -99,6 +103,13 @@ module Cw_term = Wm_cliquewidth.Cw_term
 module Cw_parse = Wm_cliquewidth.Cw_parse
 module Cw_adjacency = Wm_cliquewidth.Cw_adjacency
 module Treewidth = Wm_cliquewidth.Treewidth
+
+(* serving layer: store, wire protocol, scheduler, sharding *)
+module Serve_store = Wm_serve.Store
+module Serve_protocol = Wm_serve.Protocol
+module Serve_engine = Wm_serve.Engine
+module Serve_shard = Wm_serve.Shard
+module Frame = Wm_util.Frame
 
 (* workloads *)
 module Paper_examples = Wm_workload.Paper_examples

@@ -99,6 +99,66 @@ let time t f =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Histograms *)
+
+(* Fixed log-spaced buckets shared by every histogram: 1 us doubling up
+   to ~8.4 s, plus one overflow bucket.  A fixed layout is what makes
+   per-domain cells and snapshot merging plain integer-array sums. *)
+let histo_bounds =
+  Array.init 24 (fun i -> 1e-6 *. float_of_int (1 lsl i))
+
+let histo_buckets = Array.length histo_bounds + 1
+
+type histo_cell = {
+  h_counts : int array;  (* length [histo_buckets], last = overflow *)
+  mutable h_n : int;
+  mutable h_sum : float;
+}
+
+type histo = {
+  h_name : string;
+  h_cells : histo_cell list ref;  (* under [registry_mu] *)
+  h_key : histo_cell Domain.DLS.key;
+}
+
+let histos : histo list ref = ref []
+
+let histo name =
+  let cells = ref [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let c = { h_counts = Array.make histo_buckets 0; h_n = 0; h_sum = 0. } in
+        with_registry (fun () -> cells := c :: !cells);
+        c)
+  in
+  let h = { h_name = name; h_cells = cells; h_key = key } in
+  with_registry (fun () -> histos := h :: !histos);
+  h
+
+let bucket_of v =
+  let rec find i =
+    if i >= Array.length histo_bounds then i
+    else if v <= histo_bounds.(i) then i
+    else find (i + 1)
+  in
+  find 0
+
+let observe h v =
+  if Atomic.get enabled_flag then begin
+    let c = Domain.DLS.get h.h_key in
+    c.h_counts.(bucket_of v) <- c.h_counts.(bucket_of v) + 1;
+    c.h_n <- c.h_n + 1;
+    c.h_sum <- c.h_sum +. v
+  end
+
+let observe_span h f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let t0 = now () in
+    Fun.protect ~finally:(fun () -> observe h (now () -. t0)) f
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Spans *)
 
 type span_event = {
@@ -152,10 +212,13 @@ let span ?detail t f =
 
 type timer_total = { calls : int; seconds : float }
 
+type histo_total = { count : int; sum : float; buckets : int array }
+
 type snapshot = {
   taken : float;
   counters : (string * int) list;
   timers : (string * timer_total) list;
+  histos : (string * histo_total) list;
   spans : span_event list;
 }
 
@@ -189,6 +252,31 @@ let snapshot () =
               m)
           Smap.empty !timers
       in
+      let hs =
+        List.fold_left
+          (fun m h ->
+            let v =
+              List.fold_left
+                (fun acc c ->
+                  Array.iteri
+                    (fun i n -> acc.buckets.(i) <- acc.buckets.(i) + n)
+                    c.h_counts;
+                  { acc with count = acc.count + c.h_n; sum = acc.sum +. c.h_sum })
+                { count = 0; sum = 0.; buckets = Array.make histo_buckets 0 }
+                !(h.h_cells)
+            in
+            Smap.update h.h_name
+              (fun prev ->
+                match prev with
+                | None -> Some v
+                | Some p ->
+                    Array.iteri
+                      (fun i n -> v.buckets.(i) <- v.buckets.(i) + n)
+                      p.buckets;
+                    Some { v with count = p.count + v.count; sum = p.sum +. v.sum })
+              m)
+          Smap.empty !histos
+      in
       let sps =
         List.concat_map (fun c -> c.events) !span_cells
         |> List.sort (fun a b ->
@@ -200,6 +288,7 @@ let snapshot () =
         taken = now ();
         counters = Smap.bindings (Smap.filter (fun _ v -> v <> 0) cs);
         timers = Smap.bindings (Smap.filter (fun _ v -> v.calls <> 0) ts);
+        histos = Smap.bindings (Smap.filter (fun _ v -> v.count <> 0) hs);
         spans = sps;
       })
 
@@ -223,10 +312,31 @@ let diff ~since current =
         if d.calls = 0 then None else Some (k, d))
       current.timers
   in
+  let hbase = Smap.of_seq (List.to_seq since.histos) in
+  let histos =
+    List.filter_map
+      (fun (k, v) ->
+        let p =
+          match Smap.find_opt k hbase with
+          | Some p -> p
+          | None ->
+              { count = 0; sum = 0.; buckets = Array.make histo_buckets 0 }
+        in
+        let d =
+          {
+            count = v.count - p.count;
+            sum = v.sum -. p.sum;
+            buckets = Array.mapi (fun i n -> n - p.buckets.(i)) v.buckets;
+          }
+        in
+        if d.count = 0 then None else Some (k, d))
+      current.histos
+  in
   {
     taken = current.taken;
     counters;
     timers;
+    histos;
     spans = List.filter (fun e -> e.sp_start >= since.taken) current.spans;
   }
 
@@ -241,4 +351,13 @@ let reset () =
               c.t_secs <- 0.)
             !(t.t_cells))
         !timers;
+      List.iter
+        (fun h ->
+          List.iter
+            (fun c ->
+              Array.fill c.h_counts 0 histo_buckets 0;
+              c.h_n <- 0;
+              c.h_sum <- 0.)
+            !(h.h_cells))
+        !histos;
       List.iter (fun c -> c.events <- []) !span_cells)

@@ -54,6 +54,35 @@ val time : timer -> (unit -> 'a) -> 'a
     call to [t] on the current domain.  Exceptions propagate; the
     partial duration is still recorded.  When disabled this is [f ()]. *)
 
+(** {1 Histograms — fixed-bucket latency distributions}
+
+    Counters answer "how many", timers answer "how long in total";
+    histograms answer "how were the individual durations distributed" —
+    what a serving endpoint's p50/p99 needs.  Every histogram shares one
+    fixed log-spaced bucket layout ({!histo_bounds}: 1 us doubling to
+    ~8.4 s, plus an overflow bucket), so per-domain accumulation and
+    snapshot merging are plain integer-array sums. *)
+
+type histo
+
+val histo : string -> histo
+(** [histo name] registers a histogram; same naming vocabulary and
+    same-name merge-at-snapshot semantics as {!counter}. *)
+
+val observe : histo -> float -> unit
+(** Record one observation (seconds).  Like {!add}, a no-op when
+    disabled; a plain domain-local write otherwise. *)
+
+val observe_span : histo -> (unit -> 'a) -> 'a
+(** [observe_span h f] runs [f ()] and records its wall-clock duration.
+    Exceptions propagate; the partial duration is still recorded. *)
+
+val histo_bounds : float array
+(** The shared finite bucket upper bounds, ascending, in seconds.
+    Bucket [i] of a {!histo_total} counts observations
+    [<= histo_bounds.(i)] (and above the previous bound); the final
+    extra bucket counts overflows. *)
+
 (** {1 Trace spans — individual timed events, nestable} *)
 
 val span : ?detail:string -> timer -> (unit -> 'a) -> 'a
@@ -76,10 +105,18 @@ type span_event = {
   sp_dur : float;  (** seconds *)
 }
 
+type histo_total = {
+  count : int;
+  sum : float;  (** sum of all observations, seconds *)
+  buckets : int array;
+      (** per-bucket counts, length [Array.length histo_bounds + 1] *)
+}
+
 type snapshot = {
   taken : float;  (** seconds since process start *)
   counters : (string * int) list;  (** sorted by name, zeros dropped *)
   timers : (string * timer_total) list;  (** sorted by name *)
+  histos : (string * histo_total) list;  (** sorted by name, empties dropped *)
   spans : span_event list;  (** sorted by (start, domain, name) *)
 }
 

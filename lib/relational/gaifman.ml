@@ -181,12 +181,28 @@ let distance g a b =
     let dist = bfs g a ~bound:(-1) (fun _ _ -> ()) in
     if dist.(b) < 0 then None else Some dist.(b)
 
+(* Bounded BFS with a local visited table: spheres are degree-bounded
+   and small, and this runs once per element of the universe — [bfs]'s
+   O(n) distance array per call would make sphere extraction quadratic
+   over the whole instance. *)
 let sphere_array g ~rho a =
-  let acc = ref [] and count = ref 0 in
-  ignore
-    (bfs g a ~bound:rho (fun u _ ->
-         acc := u :: !acc;
-         incr count));
+  let dist = Hashtbl.create 16 in
+  let q = Queue.create () in
+  Hashtbl.replace dist a 0;
+  Queue.add a q;
+  let acc = ref [ a ] and count = ref 1 in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let du = Hashtbl.find dist u in
+    if du < rho then
+      iter_neighbors g u (fun v ->
+          if not (Hashtbl.mem dist v) then begin
+            Hashtbl.replace dist v (du + 1);
+            Queue.add v q;
+            acc := v :: !acc;
+            incr count
+          end)
+  done;
   let s = Array.make !count 0 in
   List.iter
     (fun u ->
@@ -208,21 +224,43 @@ let sphere_tuple g ~rho t =
   in
   Iset.elements s
 
-let connected_components g =
+(* Component labeling without the per-component lists: ids are dense and
+   assigned in order of each component's lowest element.  One shared
+   queue and label array across all components — [bfs] would allocate an
+   O(n) distance array per component, which is quadratic on a structure
+   made of hundreds of thousands of small components (the serve layer's
+   shard plan labels million-element instances on every [gen]). *)
+let component_labels g =
   let n = size g in
-  let seen = Array.make n false in
-  let comps = ref [] in
+  let comp = Array.make n (-1) in
+  let next = ref 0 in
+  let q = Queue.create () in
   for a = 0 to n - 1 do
-    if not seen.(a) then begin
-      let comp = ref [] in
-      ignore
-        (bfs g a ~bound:(-1) (fun u _ ->
-             seen.(u) <- true;
-             comp := u :: !comp));
-      comps := List.sort compare !comp :: !comps
+    if comp.(a) < 0 then begin
+      let c = !next in
+      incr next;
+      comp.(a) <- c;
+      Queue.add a q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        iter_neighbors g u (fun v ->
+            if comp.(v) < 0 then begin
+              comp.(v) <- c;
+              Queue.add v q
+            end)
+      done
     end
   done;
-  List.rev !comps
+  (comp, !next)
+
+let connected_components g =
+  let comp, ncomps = component_labels g in
+  let members = Array.make ncomps [] in
+  (* descending scan so each component's list comes out ascending *)
+  for a = size g - 1 downto 0 do
+    members.(comp.(a)) <- a :: members.(comp.(a))
+  done;
+  Array.to_list members
 
 (* Gaifman-local groups: BFS growth from the lowest unassigned element,
    capped at [max_size] members.  The frontier is a FIFO over ascending

@@ -61,6 +61,14 @@ val sphere_tuple : t -> rho:int -> Tuple.t -> int list
 
 val connected_components : t -> int list list
 
+val component_labels : t -> int array * int
+(** [(comp, ncomps)] with [comp.(x)] the dense id of [x]'s connected
+    component; ids follow the order of {!connected_components} (each
+    component numbered at its lowest element).  The serving layer shards
+    index and detect work along these labels — a rho-sphere never
+    crosses a component, so per-component results merge exactly
+    (DESIGN.md 5.11). *)
+
 val local_groups : t -> max_size:int -> int list array
 (** Deterministic partition of the universe into {e Gaifman-local groups}:
     each group is a connected (in this graph) set of at most [max_size]

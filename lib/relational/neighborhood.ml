@@ -142,16 +142,28 @@ let make_ctx ?(use_cache = true) g gf ~rho =
 
 (* Tuples of the structure lying entirely inside the sphere [s] (sorted
    element-set array): a scan local to [s], deduplicated by charging each
-   tuple to its first element. *)
+   tuple to its first element.  Membership is binary search in [s] —
+   a universe-sized seen-array here would cost O(n) per distinct sphere,
+   quadratic when (as on the ring workloads) almost every sphere is
+   distinct. *)
+let mem_sorted (s : int array) y =
+  let lo = ref 0 and hi = ref (Array.length s - 1) and found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    let v = s.(mid) in
+    if v = y then found := true
+    else if v < y then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
 let members_in ctx s =
-  let in_s = Array.make (Structure.size ctx.cg) false in
-  Array.iter (fun x -> in_s.(x) <- true) s;
   let acc = ref [] in
   Array.iter
     (fun x ->
       List.iter
         (fun ((_, t) as entry) ->
-          if t.(0) = x && Array.for_all (fun y -> in_s.(y)) t then
+          if t.(0) = x && Array.for_all (fun y -> mem_sorted s y) t then
             acc := entry :: !acc)
         ctx.incident.(x))
     s;

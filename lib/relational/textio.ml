@@ -8,9 +8,14 @@ let error_to_string e =
 
 (* Names may contain characters the line format cannot carry raw: '#'
    starts a comment, leading/trailing/doubled spaces are eaten by trim and
-   word splitting, and '%' is our escape lead.  Escape exactly those on
-   write and decode exactly the escapes we emit on read, so old files
-   (which never contain escapes) parse unchanged. *)
+   word splitting, '%' is our escape lead, and control bytes (every
+   [< 0x20] plus DEL) would corrupt a line- or frame-oriented transport —
+   the serve wire protocol carries these texts verbatim.  Escape exactly
+   those on write and decode exactly the escapes we emit on read, so old
+   files (which never contain escapes) parse unchanged. *)
+let must_escape ch =
+  ch = '%' || ch = '#' || Char.code ch < 0x20 || Char.code ch = 0x7f
+
 let escape_name s =
   let n = String.length s in
   let buf = Buffer.create n in
@@ -18,16 +23,18 @@ let escape_name s =
     (fun i ch ->
       let boundary = i = 0 || i = n - 1 in
       let doubled = i > 0 && s.[i - 1] = ' ' && ch = ' ' in
-      match ch with
-      | '%' -> Buffer.add_string buf "%25"
-      | '#' -> Buffer.add_string buf "%23"
-      | '\t' -> Buffer.add_string buf "%09"
-      | '\n' -> Buffer.add_string buf "%0A"
-      | '\r' -> Buffer.add_string buf "%0D"
-      | ' ' when boundary || doubled -> Buffer.add_string buf "%20"
-      | c -> Buffer.add_char buf c)
+      if must_escape ch then
+        Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code ch))
+      else if ch = ' ' && (boundary || doubled) then
+        Buffer.add_string buf "%20"
+      else Buffer.add_char buf ch)
     s;
   Buffer.contents buf
+
+let hex_digit = function
+  | '0' .. '9' as c -> Some (Char.code c - Char.code '0')
+  | 'A' .. 'F' as c -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
 
 let unescape_name s =
   let n = String.length s in
@@ -36,13 +43,13 @@ let unescape_name s =
   while !i < n do
     let unescaped =
       if s.[!i] = '%' && !i + 2 < n then
-        match String.sub s (!i + 1) 2 with
-        | "25" -> Some '%'
-        | "23" -> Some '#'
-        | "09" -> Some '\t'
-        | "0A" -> Some '\n'
-        | "0D" -> Some '\r'
-        | "20" -> Some ' '
+        match (hex_digit s.[!i + 1], hex_digit s.[!i + 2]) with
+        | Some hi, Some lo ->
+            let c = Char.chr ((hi lsl 4) lor lo) in
+            (* Decode only codes [escape_name] emits, so unescape o
+               escape is the identity and raw '%'s in old files (always
+               escaped on write, but tolerated on read) pass through. *)
+            if must_escape c || c = ' ' then Some c else None
         | _ -> None
       else None
     in

@@ -16,10 +16,12 @@
 
     Unknown directives are an error; names may contain spaces (the rest of
     the line).  Characters the line format cannot carry raw — ['#'],
-    ['%'], tabs, newlines, and leading/trailing/doubled spaces — are
-    escaped as ['%XX'] on write and decoded on read, so every name
-    round-trips; files written by older versions (which never contain
-    escapes) parse unchanged. *)
+    ['%'], every control byte (codes below [0x20] plus DEL, which would
+    corrupt a line- or frame-oriented transport such as the [wmark serve]
+    wire protocol), and leading/trailing/doubled spaces — are escaped as
+    ['%XX'] (uppercase hex) on write and decoded on read, so every name
+    round-trips byte for byte; files written by older versions (which
+    never contain escapes) parse unchanged. *)
 
 exception Format_error of string
 
@@ -28,6 +30,15 @@ type error = { line : int; message : string }
     [schema] directive or an IO error). *)
 
 val error_to_string : error -> string
+
+val escape_name : string -> string
+(** The name-escaping pass on its own: ['%XX'] for ['#'], ['%'], control
+    bytes and boundary/doubled spaces.  The serve wire protocol reuses it
+    to keep arbitrary error text single-line. *)
+
+val unescape_name : string -> string
+(** Inverse of {!escape_name}; decodes only codes the escaper emits, so
+    legacy percent signs in never-escaped text survive. *)
 
 val to_string : Weighted.structure -> string
 

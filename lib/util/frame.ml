@@ -1,0 +1,91 @@
+(* Length-prefixed framing for the wmark serve wire protocol: a 4-byte
+   big-endian payload length followed by the payload bytes.  The reader
+   is total — truncation and oversized declarations come back as
+   positioned [Error]s, never exceptions — because the peer is untrusted
+   input, exactly like a Textio file. *)
+
+type error = { at : int; message : string }
+
+let error_to_string e = Printf.sprintf "byte %d: %s" e.at e.message
+
+let default_max_len = 64 * 1024 * 1024
+
+let header_len = 4
+
+let encode payload =
+  let n = String.length payload in
+  let b = Bytes.create (header_len + n) in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (n land 0xff);
+  Bytes.blit_string payload 0 b header_len n;
+  Bytes.unsafe_to_string b
+
+(* Decode one frame of [s] starting at [pos].  [Ok None] is a clean end
+   (nothing after [pos]); a partial header or payload is an error at the
+   offset where the missing byte would have been. *)
+let decode ?(max_len = default_max_len) s ~pos =
+  let n = String.length s in
+  if pos < 0 || pos > n then
+    Error { at = pos; message = "position out of range" }
+  else if pos = n then Ok None
+  else if n - pos < header_len then
+    Error { at = n; message = "truncated frame header" }
+  else begin
+    let byte i = Char.code s.[pos + i] in
+    let len = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+    if len > max_len then
+      Error
+        {
+          at = pos;
+          message =
+            Printf.sprintf "frame length %d exceeds limit %d" len max_len;
+        }
+    else if n - pos - header_len < len then
+      Error { at = n; message = "truncated frame payload" }
+    else Ok (Some (String.sub s (pos + header_len) len, pos + header_len + len))
+  end
+
+let write oc payload =
+  output_string oc (encode payload);
+  flush oc
+
+(* Read exactly [n] bytes or report how far we got. *)
+let really_read ic ~at n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off = n then Ok (Bytes.unsafe_to_string b)
+    else
+      match input ic b off (n - off) with
+      | 0 -> Error { at = at + off; message = "unexpected end of stream" }
+      | k -> go (off + k)
+      | exception End_of_file ->
+          Error { at = at + off; message = "unexpected end of stream" }
+  in
+  go 0
+
+let read ?(max_len = default_max_len) ic ~at =
+  match input_char ic with
+  | exception End_of_file -> Ok None  (* clean end between frames *)
+  | c0 -> (
+      match really_read ic ~at:(at + 1) 3 with
+      | Error e -> Error e
+      | Ok rest ->
+          let byte i =
+            Char.code (if i = 0 then c0 else rest.[i - 1])
+          in
+          let len =
+            (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3
+          in
+          if len > max_len then
+            Error
+              {
+                at;
+                message =
+                  Printf.sprintf "frame length %d exceeds limit %d" len max_len;
+              }
+          else (
+            match really_read ic ~at:(at + header_len) len with
+            | Error e -> Error e
+            | Ok payload -> Ok (Some (payload, at + header_len + len))))

@@ -1,0 +1,41 @@
+(** Length-prefixed framing for the [wmark serve] wire protocol
+    (DESIGN.md 5.11).
+
+    One frame is a 4-byte big-endian payload length followed by exactly
+    that many payload bytes.  Reading is total: truncated streams and
+    frames whose declared length exceeds the limit come back as
+    positioned {!error}s instead of exceptions, so a malicious or broken
+    peer cannot crash the server — the same hardening contract as
+    {!Wm_relational.Textio.of_string_result}. *)
+
+type error = { at : int; message : string }
+(** [at] is a 0-based byte offset into the stream (or string): the start
+    of the offending frame for an oversized declaration, the first
+    missing byte for a truncation. *)
+
+val error_to_string : error -> string
+
+val default_max_len : int
+(** 64 MiB — the payload ceiling used when [max_len] is omitted. *)
+
+val header_len : int
+(** 4. *)
+
+val encode : string -> string
+(** Frame one payload. *)
+
+val decode :
+  ?max_len:int -> string -> pos:int -> ((string * int) option, error) result
+(** [decode s ~pos] reads one frame starting at [pos]: [Ok None] when
+    [pos] is exactly the end of [s], [Ok (Some (payload, next))]
+    otherwise, with [next] the offset just past the frame. *)
+
+val write : out_channel -> string -> unit
+(** Frame and write one payload, flushing the channel. *)
+
+val read :
+  ?max_len:int -> in_channel -> at:int -> ((string * int) option, error) result
+(** [read ic ~at] reads one frame from the channel; [at] is the caller's
+    running byte offset (used only for error positions and the returned
+    next offset).  [Ok None] on a clean end-of-stream between frames;
+    end-of-stream inside a frame is an error. *)

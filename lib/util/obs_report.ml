@@ -2,6 +2,28 @@ module Obs = Wm_obs.Obs
 
 let ms s = s *. 1000.
 
+(* Quantile estimate from the fixed bucket layout: the upper bound of the
+   first bucket whose cumulative count reaches q * total (conservative —
+   never under-reports a latency). *)
+let histo_quantile (h : Obs.histo_total) q =
+  if h.Obs.count = 0 then 0.
+  else begin
+    let target =
+      int_of_float (ceil (q *. float_of_int h.Obs.count)) |> max 1
+    in
+    let rec walk i acc =
+      if i >= Array.length h.Obs.buckets then
+        Obs.histo_bounds.(Array.length Obs.histo_bounds - 1)
+      else
+        let acc = acc + h.Obs.buckets.(i) in
+        if acc >= target then
+          if i < Array.length Obs.histo_bounds then Obs.histo_bounds.(i)
+          else Obs.histo_bounds.(Array.length Obs.histo_bounds - 1)
+        else walk (i + 1) acc
+    in
+    walk 0 0
+  end
+
 let render (snap : Obs.snapshot) =
   let buf = Buffer.create 1024 in
   if snap.Obs.counters <> [] then begin
@@ -19,6 +41,23 @@ let render (snap : Obs.snapshot) =
       snap.Obs.timers;
     if Buffer.length buf > 0 then Buffer.add_char buf '\n';
     Buffer.add_string buf "timers\n";
+    Buffer.add_string buf (Texttab.render t)
+  end;
+  if snap.Obs.histos <> [] then begin
+    let t =
+      Texttab.create
+        [ "histogram"; "count"; "mean ms"; "p50 ms"; "p90 ms"; "p99 ms" ]
+    in
+    List.iter
+      (fun (k, h) ->
+        Texttab.addf t "%s|%d|%.4f|%.4f|%.4f|%.4f" k h.Obs.count
+          (ms h.Obs.sum /. float_of_int (max 1 h.Obs.count))
+          (ms (histo_quantile h 0.50))
+          (ms (histo_quantile h 0.90))
+          (ms (histo_quantile h 0.99)))
+      snap.Obs.histos;
+    if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+    Buffer.add_string buf "latency histograms\n";
     Buffer.add_string buf (Texttab.render t)
   end;
   (* Spans aggregated by name: the individual events go to --trace-json;
@@ -61,6 +100,37 @@ let timers_json (snap : Obs.snapshot) =
          (k, Json.Obj [ ("calls", Json.Int calls); ("seconds", Json.Float seconds) ]))
        snap.Obs.timers)
 
+let histos_json (snap : Obs.snapshot) =
+  Json.Obj
+    (List.map
+       (fun (k, h) ->
+         let buckets =
+           List.filter_map
+             (fun i ->
+               if h.Obs.buckets.(i) = 0 then None
+               else
+                 let le =
+                   if i < Array.length Obs.histo_bounds then
+                     Json.Float Obs.histo_bounds.(i)
+                   else Json.String "inf"
+                 in
+                 Some
+                   (Json.Obj
+                      [ ("le_s", le); ("n", Json.Int h.Obs.buckets.(i)) ]))
+             (List.init (Array.length h.Obs.buckets) Fun.id)
+         in
+         ( k,
+           Json.Obj
+             [
+               ("count", Json.Int h.Obs.count);
+               ("sum_s", Json.Float h.Obs.sum);
+               ("p50_s", Json.Float (histo_quantile h 0.50));
+               ("p90_s", Json.Float (histo_quantile h 0.90));
+               ("p99_s", Json.Float (histo_quantile h 0.99));
+               ("buckets", Json.List buckets);
+             ] ))
+       snap.Obs.histos)
+
 let span_json (e : Obs.span_event) =
   Json.Obj
     ([ ("name", Json.String e.Obs.sp_name) ]
@@ -81,5 +151,6 @@ let trace_json (snap : Obs.snapshot) =
       ("taken_s", Json.Float snap.Obs.taken);
       ("counters", counters_json snap);
       ("timers", timers_json snap);
+      ("histos", histos_json snap);
       ("spans", Json.List (List.map span_json snap.Obs.spans));
     ]

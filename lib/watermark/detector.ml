@@ -53,20 +53,12 @@ let classify_carrier ~original ~observed { Pairing.fst; snd } =
       )
   end
 
-let read ?jobs pairs ~original ~observed ~length =
-  if length > List.length pairs then
-    invalid_arg "Detector.read: length exceeds pair count";
-  Obs.time t_read @@ fun () ->
-  Obs.incr c_reads;
-  Obs.add c_carriers length;
-  let carriers =
-    (* parallel phase: each carrier is classified on its own; the
-       sequential accumulation below is in index order, so the verdict
-       is bit-identical to the jobs=1 loop *)
-    Wm_par.Pool.parallel_map ?jobs
-      (classify_carrier ~original ~observed)
-      (Array.of_list (List.filteri (fun i _ -> i < length) pairs))
-  in
+(* Sequential accumulation of per-carrier classifications, in index
+   order — shared by the plain reader and the sharded serving path, so
+   both produce the same verdict from the same carrier array by
+   construction. *)
+let verdict_of_carriers carriers =
+  let length = Array.length carriers in
   let decoded = Bitvec.create length in
   let erasure = Bitvec.create length in
   let strong = ref 0 and weak = ref 0 and silent = ref 0 and erased = ref 0 in
@@ -98,15 +90,48 @@ let read ?jobs pairs ~original ~observed ~length =
     tamper = None;
   }
 
+(* First [n] elements, stopping early — [List.filteri] would traverse
+   the whole half-million-pair list on every serve request. *)
+let take n l =
+  let rec go n acc = function
+    | x :: rest when n > 0 -> go (n - 1) (x :: acc) rest
+    | _ -> List.rev acc
+  in
+  go n [] l
+
+let read ?jobs pairs ~original ~observed ~length =
+  let asked = take length pairs in
+  if List.length asked < length then
+    invalid_arg "Detector.read: length exceeds pair count";
+  Obs.time t_read @@ fun () ->
+  Obs.incr c_reads;
+  Obs.add c_carriers length;
+  let carriers =
+    (* parallel phase: each carrier is classified on its own; the
+       sequential accumulation is in index order, so the verdict is
+       bit-identical to the jobs=1 loop *)
+    Wm_par.Pool.parallel_map ?jobs
+      (classify_carrier ~original ~observed)
+      (Array.of_list asked)
+  in
+  verdict_of_carriers carriers
+
 let read_weights ?jobs pairs ~original ~suspect ~length =
+  (* Only the first [length] carriers are read, so only their endpoints
+     need observing — a serving engine answering thousands of short
+     detects per second on a scheme with hundreds of thousands of pairs
+     must not pay O(capacity) per request. *)
+  let asked = take length pairs in
+  if List.length asked < length then
+    invalid_arg "Detector.read_weights: length exceeds pair count";
   let observed =
     List.fold_left
       (fun acc { Pairing.fst; snd } ->
         Tuple.Map.add fst (Weighted.get suspect fst)
           (Tuple.Map.add snd (Weighted.get suspect snd) acc))
-      Tuple.Map.empty pairs
+      Tuple.Map.empty asked
   in
-  read ?jobs pairs ~original ~observed ~length
+  read ?jobs asked ~original ~observed ~length
 
 (* log C(n,k) via lgamma-free accumulation to stay in float range. *)
 let log_choose n k =

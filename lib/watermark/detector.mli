@@ -55,6 +55,27 @@ val suspicion : tamper -> float
     copy, 1 when every group was distorted, erased or lost its
     certificate. *)
 
+(** {1 Carrier-level interface}
+
+    The serving layer's sharded detector classifies carriers
+    shard-by-shard and reassembles; exposing the per-carrier step and the
+    accumulation separately lets it reuse both ends of {!read} unchanged,
+    which is what makes "sharded detect = unsharded detect" true by
+    construction rather than by test alone. *)
+
+type carrier = Erased | Cell of bool * [ `Strong | `Weak | `Silent ]
+(** What one pair contributes: no surviving endpoint ([Erased]), or a
+    decoded bit with its signal class. *)
+
+val classify_carrier :
+  original:Weighted.t -> observed:int Tuple.Map.t -> Pairing.pair -> carrier
+(** Classify one pair from the observed weights — pure and independent
+    per pair, the unit of work the pool parallelizes. *)
+
+val verdict_of_carriers : carrier array -> verdict
+(** Accumulate classifications in index order into a verdict; the array
+    length is the read length. *)
+
 val read :
   ?jobs:int -> Pairing.pair list -> original:Weighted.t ->
   observed:int Tuple.Map.t -> length:int -> verdict

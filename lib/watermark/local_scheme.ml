@@ -78,7 +78,8 @@ let assemble ~options ~g ~q ~qs ~degree ~rho ~ix =
       Ok { qs; selected; rep; ix; options }
   end
 
-let prepare ?(options = default_options) ?qs (ws : Weighted.structure) q =
+let prepare ?(options = default_options) ?qs ?gf ?ix (ws : Weighted.structure)
+    q =
   let g = ws.Weighted.graph in
   if Query.result_arity q <> Weighted.arity ws.Weighted.weights then
     Error "result arity differs from weight arity"
@@ -88,18 +89,22 @@ let prepare ?(options = default_options) ?qs (ws : Weighted.structure) q =
     let qs =
       match qs with Some qs -> qs | None -> Query_system.of_relational g q
     in
-    let gf = Gaifman.of_structure g in
+    let gf = match gf with Some gf -> gf | None -> Gaifman.of_structure g in
     let degree = Gaifman.max_degree gf in
     let rho =
       match options.rho with
       | Some r -> r
       | None -> Locality.best_rank q.Query.phi
     in
-    let ix = Neighborhood.index g ~rho (Query_system.params qs) in
+    let ix =
+      match ix with
+      | Some ix when ix.Neighborhood.rho = rho -> ix
+      | Some _ | None -> Neighborhood.index g ~rho (Query_system.params qs)
+    in
     assemble ~options ~g ~q ~qs ~degree ~rho ~ix
   end
 
-let update t ~old (ws : Weighted.structure) q ~dirty =
+let update ?old_gf t ~old (ws : Weighted.structure) q ~dirty =
   let options = t.options in
   let g = ws.Weighted.graph in
   if Query.result_arity q <> Weighted.arity ws.Weighted.weights then
@@ -107,7 +112,11 @@ let update t ~old (ws : Weighted.structure) q ~dirty =
   else begin
     let old_g = old.Weighted.graph in
     let rho = t.ix.Neighborhood.rho in
-    let old_gf = Gaifman.of_structure old_g in
+    let old_gf =
+      match old_gf with
+      | Some gf -> gf
+      | None -> Gaifman.of_structure old_g
+    in
     let gf = Gaifman.refresh g ~prev:old_gf ~dirty in
     let degree = Gaifman.max_degree gf in
     let affected = Neighborhood.affected_elements ~old_gf ~gf ~rho ~dirty in
@@ -117,13 +126,25 @@ let update t ~old (ws : Weighted.structure) q ~dirty =
   end
 
 let report t = t.rep
-let capacity t = List.length t.selected
+(* O(1): the report already carries the selected-pair count, and a
+   serving engine consults the capacity on every mark/detect request. *)
+let capacity t = t.rep.pairs_selected
 let pairs t = t.selected
 let query_system t = t.qs
 let index t = t.ix
 
 let mark t message w =
-  Weighted.apply_marks w (Pairing.orientation_marks t.selected message)
+  (* Pairs beyond the message carry no marks; truncating first keeps a
+     short-message mark O(message) instead of O(capacity), which is what
+     a serving engine marking against a half-million-pair scheme needs. *)
+  let l = Bitvec.length message in
+  if l > capacity t then
+    invalid_arg "Pairing.orientation_marks: message longer than capacity";
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  Weighted.apply_marks w (Pairing.orientation_marks (take l t.selected) message)
 
 let detect t ~original ~server ~length =
   if length > capacity t then
@@ -135,10 +156,13 @@ let detect t ~original ~server ~length =
     | None -> 0
   in
   let message = Bitvec.create length in
-  List.iteri
-    (fun i { Pairing.fst; snd } ->
-      if i < length then Bitvec.set message i (delta fst - delta snd > 0))
-    t.selected;
+  let rec walk i = function
+    | { Pairing.fst; snd } :: rest when i < length ->
+        Bitvec.set message i (delta fst - delta snd > 0);
+        walk (i + 1) rest
+    | _ -> ()
+  in
+  walk 0 t.selected;
   message
 
 let detect_weights t ~original ~suspect ~length =

@@ -44,16 +44,24 @@ type report = {
 }
 
 val prepare :
-  ?options:options -> ?qs:Query_system.t -> Weighted.structure -> Query.t ->
+  ?options:options -> ?qs:Query_system.t -> ?gf:Gaifman.t ->
+  ?ix:Neighborhood.index -> Weighted.structure -> Query.t ->
   (t, string) result
 (** Fails (with a message) when the query is unusable, e.g. result arity
     differs from the weight arity, or no pair survives selection.  [qs]
     overrides the evaluator — pass a {!Query_system.of_custom} value when
     you have a faster (but semantically identical) way to enumerate result
     sets than the generic FO evaluator; the scheme itself only consumes
-    the query-system interface. *)
+    the query-system interface.  [gf] (the structure's Gaifman graph) and
+    [ix] (a type index of the query system's parameters at the effective
+    rho — ignored if its rho differs) skip the two preparation passes a
+    caller has already done; the serving engine passes both so repeat
+    prepares against a stored dataset, and sharded index construction,
+    reuse cached state.  Results are identical with or without them
+    provided they describe the same structure. *)
 
 val update :
+  ?old_gf:Gaifman.t ->
   t ->
   old:Weighted.structure ->
   Weighted.structure ->
@@ -66,7 +74,9 @@ val update :
     index comes from {!Wm_relational.Neighborhood.reindex} over the dirty
     set the edits reported (see {!Wm_relational.Structure.apply_edits}) and
     the query memo is carried over through {!Query_system.refresh} instead
-    of starting cold.  [old] is the instance [t] was prepared on.  After a
+    of starting cold.  [old] is the instance [t] was prepared on; [old_gf]
+    optionally supplies its (cached) Gaifman graph so a serving engine
+    does not rebuild it per edit script.  After a
     type-changing update the marker re-embeds (Theorem 8's dichotomy):
     compare {!index} before and after, or use
     {!Wm_watermark.Incremental.update_decision}. *)

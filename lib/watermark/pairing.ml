@@ -47,18 +47,53 @@ let orientation_marks pairs message =
          else [ (fst, -1); (snd, 1) ])
        pairs)
 
+(* Inverted result-set index: for each active element, the ascending list
+   of parameter indexes whose result set contains it.  A parameter's
+   result set splits a pair iff it contains exactly one endpoint, so the
+   parameters a pair touches are the symmetric difference of its
+   endpoints' lists — O(result-set mass) once, then O(touches) per pair,
+   instead of the O(pairs * params) full scan that made selection
+   quadratic on large instances (the serving engine prepares
+   million-element structures). *)
+let inverted qs =
+  let params = Array.of_list (Query_system.params qs) in
+  let owner : (Tuple.t, int list ref) Hashtbl.t =
+    Hashtbl.create (2 * Array.length params)
+  in
+  Array.iteri
+    (fun i a ->
+      Tuple.Set.iter
+        (fun w ->
+          match Hashtbl.find_opt owner w with
+          | Some l -> l := i :: !l
+          | None -> Hashtbl.add owner w (ref [ i ]))
+        (Query_system.result_set qs a))
+    params;
+  let param_ixs w =
+    match Hashtbl.find_opt owner w with
+    | Some l -> List.rev !l
+    | None -> []
+  in
+  (params, param_ixs)
+
+let rec sym_diff (a : int list) b =
+  match (a, b) with
+  | [], r | r, [] -> r
+  | x :: xs, y :: ys ->
+      if x < y then x :: sym_diff xs b
+      else if y < x then y :: sym_diff a ys
+      else sym_diff xs ys
+
 let split_counts qs pairs =
-  List.map
-    (fun a ->
-      let s = Query_system.result_set qs a in
-      let count =
-        List.fold_left
-          (fun acc { fst; snd } ->
-            if Tuple.Set.mem fst s <> Tuple.Set.mem snd s then acc + 1 else acc)
-          0 pairs
-      in
-      (a, count))
-    (Query_system.params qs)
+  let params, param_ixs = inverted qs in
+  let split = Array.make (Array.length params) 0 in
+  List.iter
+    (fun { fst; snd } ->
+      List.iter
+        (fun i -> split.(i) <- split.(i) + 1)
+        (sym_diff (param_ixs fst) (param_ixs snd)))
+    pairs;
+  Array.to_list (Array.mapi (fun i a -> (a, split.(i))) params)
 
 let max_split qs pairs =
   List.fold_left (fun acc (_, c) -> max acc c) 0 (split_counts qs pairs)
@@ -70,22 +105,15 @@ let select_random g qs pairs ~p ~budget =
 let select_greedy g qs pairs ~budget =
   let arr = Array.of_list pairs in
   Prng.shuffle g arr;
-  (* Incremental split counts per parameter. *)
-  let params = Array.of_list (Query_system.params qs) in
+  (* Incremental split counts per parameter, maintained through the
+     inverted index; admission order and outcome are identical to the
+     full-scan formulation. *)
+  let params, param_ixs = inverted qs in
   let split = Array.make (Array.length params) 0 in
-  let member_sets = Array.map (Query_system.result_set qs) params in
   let chosen = ref [] in
   Array.iter
     (fun pr ->
-      let touches =
-        Array.to_list
-          (Array.mapi
-             (fun i s ->
-               if Tuple.Set.mem pr.fst s <> Tuple.Set.mem pr.snd s then Some i
-               else None)
-             member_sets)
-        |> List.filter_map Fun.id
-      in
+      let touches = sym_diff (param_ixs pr.fst) (param_ixs pr.snd) in
       if List.for_all (fun i -> split.(i) + 1 <= budget) touches then begin
         List.iter (fun i -> split.(i) <- split.(i) + 1) touches;
         chosen := pr :: !chosen

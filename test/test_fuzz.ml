@@ -171,6 +171,100 @@ let test_edit_script_malformed () =
   | Ok _ -> Alcotest.fail "expected a parse error"
   | Error _ -> ()
 
+(* --- frames (serve wire protocol) ------------------------------------ *)
+
+(* Frame.decode is total: any byte string, any position, any max_len maps
+   to Ok/Error — truncations and oversized declarations are positioned
+   errors, never exceptions. *)
+let test_frame_fuzz () =
+  let g = Prng.create 0xF044 in
+  let stream =
+    String.concat ""
+      (List.map Frame.encode
+         [ "ping"; ""; "detect d 5 1"; String.make 300 'x'; "\x00\x01\xff" ])
+  in
+  for _ = 1 to 120 do
+    let input = mutate g stream in
+    let pos = Prng.int g (String.length input + 1) in
+    let max_len = 1 + Prng.int g 512 in
+    match Frame.decode ~max_len input ~pos with Ok _ | Error _ -> ()
+  done
+
+let test_frame_roundtrip () =
+  let payloads =
+    [ ""; "a"; "ok detect\nmessage 101"; String.make 4096 '\x00';
+      "\x01\x02\x03\xfe\xff"; String.init 256 Char.chr ]
+  in
+  let stream = String.concat "" (List.map Frame.encode payloads) in
+  let rec walk pos acc =
+    match Frame.decode stream ~pos with
+    | Ok None -> List.rev acc
+    | Ok (Some (payload, next)) -> walk next (payload :: acc)
+    | Error e -> Alcotest.failf "decode: %s" (Frame.error_to_string e)
+  in
+  check bool "payloads survive framing" true (walk 0 [] = payloads)
+
+let test_frame_truncation_positions () =
+  let f = Frame.encode "hello" in
+  (* every strict prefix is a positioned truncation error, except the
+     empty stream (a clean end between frames) *)
+  for cut = 1 to String.length f - 1 do
+    match Frame.decode (String.sub f 0 cut) ~pos:0 with
+    | Error e ->
+        check int (Printf.sprintf "cut at %d points at first missing byte" cut)
+          cut e.Frame.at
+    | Ok _ -> Alcotest.failf "prefix of length %d accepted" cut
+  done;
+  (match Frame.decode "" ~pos:0 with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "empty stream should be a clean end");
+  (* an oversized declaration points at the frame start, not its body *)
+  let big = Frame.encode (String.make 100 'z') in
+  match Frame.decode ~max_len:10 (Frame.encode "ok" ^ big) ~pos:0 with
+  | Ok (Some ("ok", next)) -> (
+      match Frame.decode ~max_len:10 (Frame.encode "ok" ^ big) ~pos:next with
+      | Error e -> check int "oversize error at frame start" next e.Frame.at
+      | Ok _ -> Alcotest.fail "oversized frame accepted")
+  | _ -> Alcotest.fail "first frame should decode"
+
+(* The serve request/response decoders are total too: they sit directly
+   behind the socket, so no byte sequence may raise. *)
+let test_protocol_decode_fuzz () =
+  let module P = Wm_serve.Protocol in
+  let g = Prng.create 0xF055 in
+  let bases =
+    [ P.encode_request (P.Gen { id = "d"; n = 30; seed = 7 });
+      P.encode_request
+        (P.Prepare
+           { id = "d"; seed = 1; rho = None; epsilon = 1.0; shard = true;
+             qspec = P.Fo { params = [ "u" ]; results = [ "v" ]; formula = "u = v" } });
+      P.encode_request (P.Batch [ "ping"; "info d" ]);
+      P.ok_payload "detect" [ ("message", "101") ] ~body:"x";
+      P.err_payload "boom % \x01";
+    ]
+  in
+  for _ = 1 to 150 do
+    let input = mutate g (Prng.choose g (Array.of_list bases)) in
+    (match P.decode_request input with Ok _ | Error _ -> ());
+    match P.decode_response input with Ok _ | Error _ -> ()
+  done
+
+(* Control bytes below 0x20 must survive a name round-trip — the wire
+   protocol reuses this escaping for single-line error text. *)
+let test_textio_control_byte_roundtrip () =
+  for c = 0 to 255 do
+    let s = Printf.sprintf "a%cb" (Char.chr c) in
+    check string
+      (Printf.sprintf "byte 0x%02x" c)
+      s
+      (Textio.unescape_name (Textio.escape_name s));
+    let e = Textio.escape_name s in
+    check bool
+      (Printf.sprintf "escaped 0x%02x is one clean line" c)
+      true
+      (not (String.exists (fun ch -> ch < ' ') e))
+  done
+
 (* --- XML ------------------------------------------------------------- *)
 
 let valid_xml =
@@ -245,6 +339,11 @@ let suite =
     ("textio serialization fixpoint", `Quick, test_textio_roundtrip_stable);
     ("edit script round-trip", `Quick, test_edit_script_roundtrip);
     ("edit script malformed inputs", `Quick, test_edit_script_malformed);
+    ("frame fuzz (120 mutants)", `Quick, test_frame_fuzz);
+    ("frame stream round-trip", `Quick, test_frame_roundtrip);
+    ("frame truncation positions", `Quick, test_frame_truncation_positions);
+    ("protocol decode fuzz (150 mutants)", `Quick, test_protocol_decode_fuzz);
+    ("textio control-byte round-trip", `Quick, test_textio_control_byte_roundtrip);
     ("xml fuzz (60 mutants)", `Quick, test_xml_fuzz);
     ("xml malformed inputs", `Quick, test_xml_malformed_are_errors);
     ("xml error positions", `Quick, test_xml_error_positions);

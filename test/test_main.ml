@@ -17,6 +17,7 @@ let () =
       ("survivable", Test_survivable.suite);
       ("recovery", Test_recovery.suite);
       ("fuzz", Test_fuzz.suite);
+      ("serve", Test_serve.suite);
       ("cliquewidth", Test_cliquewidth.suite);
       ("extensions", Test_extensions.suite);
       ("integration", Test_integration.suite);
