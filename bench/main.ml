@@ -114,7 +114,7 @@ let e1 () =
     Pairing.orientation_marks pairs (Codec.of_int ~bits:(List.length pairs) 1)
   in
   let w' = Weighted.apply_marks ws.Weighted.weights marks in
-  List.iter
+  Structure.iter_universe
     (fun x ->
       let a = Tuple.singleton x in
       let w_u =
@@ -131,7 +131,7 @@ let e1 () =
         (Neighborhood.type_of ix a)
         w_u cl
         (Query_system.f qs w' a - Query_system.f qs ws.Weighted.weights a))
-    (Structure.universe g);
+    g;
   Texttab.print t;
   Printf.printf "pairs: %s; max split = %d (certifies |distortion| <= 1)\n"
     (String.concat ", "
@@ -368,7 +368,7 @@ let e6 () =
   let gf = Gaifman.of_structure g in
   let qs =
     Query_system.of_custom
-      ~params:(List.map Tuple.singleton (Structure.universe g))
+      ~params:(List.init (Structure.size g) Tuple.singleton)
       ~result_set:(fun a ->
         Tuple.Set.of_list (List.map Tuple.singleton (Gaifman.neighbors gf a.(0))))
       ~weight_arity:1
@@ -1058,9 +1058,9 @@ let e16 () =
                  (Distortion.global (Tree_scheme.query_system scheme) tw marked_tw)
            else begin
              let marked_gw = Cw_parse.weights_to_graph tree marked_tw in
-             List.iter
+             Structure.iter_universe
                (fun u -> worst := max !worst (abs (f marked_gw u - f graph_w u)))
-               (Structure.universe graph)
+               graph
            end);
           if
             Bitvec.equal message
@@ -1969,6 +1969,190 @@ let e25 () =
     rps
 
 (* ------------------------------------------------------------------ *)
+(* E26 — the flat-memory core (PR 8): end-to-end tuples/second.
+
+   Builds, marks and detects over the same op streams twice — once on
+   the columnar Relation/Weighted and once on the frozen pre-flat
+   representations (Relation_ref/Weighted_ref) — at 10^5 and 10^6
+   elements, asserting bit-identical outputs (marked weight bindings,
+   decoded message) along the way.  The CI guard reads
+   load_detect_speedup (>= 2x required) and outputs_equal from
+   BENCH_PR8.json.
+
+   WMARK_E26_N overrides the larger instance size so CI runs small; the
+   committed BENCH_PR8.json comes from the full run. *)
+
+let e26 () =
+  header "E26. Flat-memory core: load/mark/detect throughput (PR 8)";
+  let env_int name default floor =
+    match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+    | Some v when v >= floor -> v
+    | _ -> default
+  in
+  let nbig = env_int "WMARK_E26_N" 1_000_000 1_000 in
+  let sizes = if nbig > 100_000 then [ 100_000; nbig ] else [ nbig ] in
+  let t = Texttab.create [ "n"; "stage"; "flat"; "pre-flat"; "speedup" ] in
+  let outputs_equal = ref true in
+  let worst_speedup = ref infinity in
+  let big_scalars = ref [] in
+  List.iter
+    (fun n ->
+      let g = Prng.create (0xE26 + n) in
+      let ws = Random_struct.regular_rings g ~n in
+      let graph = ws.Weighted.graph in
+      let schema = Structure.schema graph in
+      (* identical op streams for both representations, extracted untimed *)
+      let rel_tuples =
+        Structure.fold_relations
+          (fun name r acc -> (name, Relation.to_list r) :: acc)
+          graph []
+      in
+      let wbindings = Weighted.bindings ws.Weighted.weights in
+      let ntuples =
+        List.fold_left (fun acc (_, ts) -> acc + List.length ts) 0 rel_tuples
+        + List.length wbindings
+      in
+      (* load: one bulk sort per relation vs a functional insert per tuple *)
+      let (flat_g, flat_w), flat_load_s =
+        secs (fun () ->
+            let g0 =
+              List.fold_left
+                (fun g (name, ts) ->
+                  Structure.set_relation g name
+                    (Relation.of_list (Schema.arity_of schema name) ts))
+                (Structure.create schema n) rel_tuples
+            in
+            (g0, Weighted.of_list 1 wbindings))
+      in
+      let (ref_rels, ref_w), ref_load_s =
+        secs (fun () ->
+            let rels =
+              List.map
+                (fun (name, ts) ->
+                  ( name,
+                    List.fold_left
+                      (fun r tup -> Relation_ref.add tup r)
+                      (Relation_ref.empty (Schema.arity_of schema name))
+                      ts ))
+                rel_tuples
+            in
+            let w =
+              List.fold_left
+                (fun w (tu, v) -> Weighted_ref.set w tu v)
+                (Weighted_ref.create 1) wbindings
+            in
+            (rels, w))
+      in
+      outputs_equal :=
+        !outputs_equal
+        && Structure.equal flat_g graph
+        && List.for_all
+             (fun (name, r) ->
+               Relation.to_list (Structure.relation flat_g name)
+               = Relation_ref.to_list r)
+             ref_rels
+        && Weighted.bindings flat_w = Weighted_ref.bindings ref_w;
+      (* mark: one +-1 pair per consecutive element pair, full scan *)
+      let pairs =
+        List.init (n / 2) (fun i ->
+            {
+              Pairing.fst = Tuple.singleton (2 * i);
+              snd = Tuple.singleton ((2 * i) + 1);
+            })
+      in
+      let message = Codec.random g (n / 2) in
+      let marks = Pairing.orientation_marks pairs message in
+      let flat_marked, flat_mark_s =
+        secs (fun () -> Weighted.apply_marks flat_w marks)
+      in
+      let ref_marked, ref_mark_s =
+        secs (fun () -> Weighted_ref.apply_marks ref_w marks)
+      in
+      outputs_equal :=
+        !outputs_equal && Weighted.bindings flat_marked = Weighted_ref.bindings ref_marked;
+      (* detect: full decode pass, four weight lookups per pair *)
+      let flat_bits, flat_detect_s =
+        secs (fun () ->
+            let bits = Bitvec.create (n / 2) in
+            List.iteri
+              (fun i { Pairing.fst; snd } ->
+                let d tu = Weighted.get flat_marked tu - Weighted.get flat_w tu in
+                Bitvec.set bits i (d fst - d snd > 0))
+              pairs;
+            bits)
+      in
+      let ref_bits, ref_detect_s =
+        secs (fun () ->
+            let bits = Bitvec.create (n / 2) in
+            List.iteri
+              (fun i { Pairing.fst; snd } ->
+                let d tu =
+                  Weighted_ref.get ref_marked tu - Weighted_ref.get ref_w tu
+                in
+                Bitvec.set bits i (d fst - d snd > 0))
+              pairs;
+            bits)
+      in
+      outputs_equal :=
+        !outputs_equal && Bitvec.equal flat_bits ref_bits
+        && Bitvec.equal flat_bits message;
+      (* flat-only pipeline stages for the tuples/s headline *)
+      let text = Textio.to_string { Weighted.graph = flat_g; weights = flat_marked } in
+      let _parsed, parse_s = secs (fun () -> Textio.of_string text) in
+      let gf, gaifman_s = secs (fun () -> Gaifman.of_structure flat_g) in
+      let (_, ncomps), comp_s = secs (fun () -> Gaifman.component_labels gf) in
+      let speedup =
+        (ref_load_s +. ref_detect_s) /. (flat_load_s +. flat_detect_s)
+      in
+      if speedup < !worst_speedup then worst_speedup := speedup;
+      let e2e = flat_load_s +. flat_mark_s +. flat_detect_s in
+      let tps = float_of_int ntuples /. e2e in
+      Texttab.addf t "%d|load|%.3f s|%.3f s|%.2fx" n flat_load_s ref_load_s
+        (ref_load_s /. flat_load_s);
+      Texttab.addf t "%d|mark|%.3f s|%.3f s|%.2fx" n flat_mark_s ref_mark_s
+        (ref_mark_s /. flat_mark_s);
+      Texttab.addf t "%d|detect|%.3f s|%.3f s|%.2fx" n flat_detect_s
+        ref_detect_s
+        (ref_detect_s /. flat_detect_s);
+      Texttab.addf t "%d|load+detect|%.3f s|%.3f s|%.2fx" n
+        (flat_load_s +. flat_detect_s)
+        (ref_load_s +. ref_detect_s)
+        speedup;
+      Texttab.addf t "%d|parse / gaifman / comps|%.3f / %.3f / %.3f s|-|-" n
+        parse_s gaifman_s comp_s;
+      Texttab.addf t "%d|end-to-end|%.0f tuples/s (%d tuples, %d comps)|-|-" n
+        tps ntuples ncomps;
+      if n = List.nth sizes (List.length sizes - 1) then
+        big_scalars :=
+          [
+            ("n", Json.Int n);
+            ("tuples", Json.Int ntuples);
+            ("flat_load_s", Json.Float flat_load_s);
+            ("ref_load_s", Json.Float ref_load_s);
+            ("flat_mark_s", Json.Float flat_mark_s);
+            ("ref_mark_s", Json.Float ref_mark_s);
+            ("flat_detect_s", Json.Float flat_detect_s);
+            ("ref_detect_s", Json.Float ref_detect_s);
+            ("end_to_end_tuples_per_s", Json.Float tps);
+          ])
+    sizes;
+  Texttab.print t;
+  record_scalars ~experiment:"e26"
+    (!big_scalars
+    @ [
+        ("load_detect_speedup", Json.Float !worst_speedup);
+        ("outputs_equal", Json.Bool !outputs_equal);
+      ]);
+  Printf.printf
+    "The columnar Relation/Weighted load with one sort per relation and\n\
+     detect by binary search over contiguous int rows; the frozen\n\
+     pre-flat representations replay the identical op streams for the\n\
+     baseline.  Marked bindings and the decoded message are asserted\n\
+     bit-identical (outputs_equal); load_detect_speedup is the worst\n\
+     size's (ref load + detect) / (flat load + detect) and feeds the\n\
+     >= 2x CI guard.\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1976,7 +2160,7 @@ let experiments =
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
     ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22); ("e23", e23);
-    ("e24", e24); ("e25", e25);
+    ("e24", e24); ("e25", e25); ("e26", e26);
   ]
 
 let () =
@@ -2090,7 +2274,7 @@ let () =
         (Json.Obj
            ([
               ("schema", Json.String "qpwm-bench/1");
-              ("pr", Json.Int 7);
+              ("pr", Json.Int 8);
               ("jobs", Json.Int (Par.jobs ()));
               ("pool_size", Json.Int (Par.pool_size ()));
               ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));

@@ -113,9 +113,9 @@ let of_tree_graph g =
   else begin
     let gf = Gaifman.of_structure g in
     let edge_count =
-      List.fold_left
-        (fun acc v -> acc + List.length (Gaifman.neighbors gf v))
-        0 (Structure.universe g)
+      Structure.fold_universe
+        (fun v acc -> acc + Gaifman.degree gf v)
+        g 0
       / 2
     in
     let comps = Gaifman.connected_components gf in

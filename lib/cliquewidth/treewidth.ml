@@ -13,8 +13,12 @@ let validate g t =
     (fun b bag -> List.iter (fun v -> in_bag.(v) <- b :: in_bag.(v)) bag)
     t.bags;
   (* 1. Every element occurs. *)
-  let missing = List.filter (fun v -> in_bag.(v) = []) (Structure.universe g) in
-  if missing <> [] then Error "element in no bag"
+  let missing =
+    Structure.fold_universe
+      (fun v acc -> acc || in_bag.(v) = [])
+      g false
+  in
+  if missing then Error "element in no bag"
   else begin
     (* The bag tree must be a tree (or forest matching bag count). *)
     let ok_edges =
@@ -57,9 +61,13 @@ let validate g t =
           List.exists (fun b -> List.mem v t.bags.(b)) in_bag.(u)
         in
         let bad_edge =
-          List.exists
-            (fun u -> List.exists (fun v -> not (covered u v)) (Gaifman.neighbors gf u))
-            (Structure.universe g)
+          Structure.fold_universe
+            (fun u acc ->
+              acc
+              || List.exists
+                   (fun v -> not (covered u v))
+                   (Gaifman.neighbors gf u))
+            g false
         in
         if bad_edge then Error "edge covered by no bag"
         else begin
@@ -84,7 +92,8 @@ let validate g t =
                 done;
                 Iset.equal !seen bags_v
           in
-          if List.for_all connected (Structure.universe g) then Ok ()
+          if Structure.fold_universe (fun v acc -> acc && connected v) g true
+          then Ok ()
           else Error "occurrence not connected"
         end
       end

@@ -65,23 +65,22 @@ let csr_of_edges n src dst m =
   off.(n) <- !w;
   { off; nbr = Array.sub nbr 0 !w }
 
-(* Shared two-pass edge gather: [count]/[emit] enumerate the same tuple
-   stream; capacity is the exact directed-pair count, filled left to
-   right. *)
-let build n iter_tuples =
+(* Shared two-pass edge gather over flat tuple rows: the callback is
+   invoked twice with identical enumerations of (buffer, offset, arity)
+   rows — first to count directed pairs exactly, then to emit them.
+   Feeding it [Relation.iter_flat] means a million-tuple structure is
+   scanned with no per-tuple allocation at all. *)
+let build n iter_rows =
   let m = ref 0 in
-  iter_tuples (fun t ->
-      let k = Array.length t in
-      m := !m + (k * (k - 1)));
+  iter_rows (fun _ _ k -> m := !m + (k * (k - 1)));
   let src = Array.make (max 1 !m) 0 and dst = Array.make (max 1 !m) 0 in
   let p = ref 0 in
-  iter_tuples (fun t ->
-      let k = Array.length t in
+  iter_rows (fun (buf : int array) off k ->
       for i = 0 to k - 1 do
         for j = 0 to k - 1 do
-          if i <> j && t.(i) <> t.(j) then begin
-            src.(!p) <- t.(i);
-            dst.(!p) <- t.(j);
+          if i <> j && buf.(off + i) <> buf.(off + j) then begin
+            src.(!p) <- buf.(off + i);
+            dst.(!p) <- buf.(off + j);
             incr p
           end
         done
@@ -90,9 +89,14 @@ let build n iter_tuples =
 
 let of_structure g =
   build (Structure.size g) (fun f ->
-      Structure.fold_relations (fun _ r () -> Relation.iter f r) g ())
+      Structure.fold_relations
+        (fun _ r () ->
+          let a = Relation.arity r in
+          Relation.iter_flat (fun buf off -> f buf off a) r)
+        g ())
 
-let of_tuples ~n ts = build n (fun f -> List.iter f ts)
+let of_tuples ~n ts =
+  build n (fun f -> List.iter (fun t -> f t 0 (Array.length t)) ts)
 
 (* Incremental rebuild: only the adjacency rows of dirty elements can differ
    from [prev] (an edge {y,z} appears or disappears only with a tuple
@@ -112,8 +116,14 @@ let refresh g ~prev ~dirty =
     build n (fun f ->
         Structure.fold_relations
           (fun _ r () ->
-            Relation.iter
-              (fun t -> if Array.exists (fun x -> is_dirty.(x)) t then f t)
+            let a = Relation.arity r in
+            Relation.iter_flat
+              (fun buf off ->
+                let touches = ref false in
+                for p = off to off + a - 1 do
+                  if is_dirty.(buf.(p)) then touches := true
+                done;
+                if !touches then f buf off a)
               r)
           g ())
   in

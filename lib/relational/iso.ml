@@ -96,17 +96,18 @@ let initial_colors g dist =
     Structure.fold_relations
       (fun name r base ->
         let h = Hashtbl.hash name in
-        for pos = 0 to Relation.arity r - 1 do
+        let ar = Relation.arity r in
+        for pos = 0 to ar - 1 do
           codehash.(base + pos) <- mix h pos
         done;
-        Relation.iter
-          (fun t ->
-            Array.iteri
-              (fun pos a ->
-                counts.(a).(base + pos) <- counts.(a).(base + pos) + 1)
-              t)
+        Relation.iter_flat
+          (fun buf off ->
+            for pos = 0 to ar - 1 do
+              let a = buf.(off + pos) in
+              counts.(a).(base + pos) <- counts.(a).(base + pos) + 1
+            done)
           r;
-        base + Relation.arity r)
+        base + ar)
       g 0
   in
   let hs =
@@ -344,35 +345,38 @@ let isomorphic_prep pa pb =
             if i = n then true
             else
               let a = order.(i) in
-              let candidates =
-                match Hashtbl.find_opt forced a with
-                | Some b -> [ b ]
-                | None -> Structure.universe gb
+              let try_image b =
+                (not used.(b))
+                && ca.(a) = cb.(b)
+                && ha.(a) = hb.(b)
+                &&
+                begin
+                  map.(a) <- b;
+                  used.(b) <- true;
+                  let ok =
+                    List.for_all
+                      (fun (name, t) ->
+                        let img = Array.map (fun x -> map.(x)) t in
+                        Relation.mem img (Structure.relation gb name))
+                      tuples_at.(i)
+                  in
+                  let ok = ok && extend (i + 1) in
+                  if not ok then begin
+                    map.(a) <- -1;
+                    used.(b) <- false
+                  end;
+                  ok
+                end
               in
-              List.exists
-                (fun b ->
-                  (not used.(b))
-                  && ca.(a) = cb.(b)
-                  && ha.(a) = hb.(b)
-                  &&
-                  begin
-                    map.(a) <- b;
-                    used.(b) <- true;
-                    let ok =
-                      List.for_all
-                        (fun (name, t) ->
-                          let img = Array.map (fun x -> map.(x)) t in
-                          Relation.mem img (Structure.relation gb name))
-                        tuples_at.(i)
-                    in
-                    let ok = ok && extend (i + 1) in
-                    if not ok then begin
-                      map.(a) <- -1;
-                      used.(b) <- false
-                    end;
-                    ok
-                  end)
-                candidates
+              (* Unforced nodes scan candidate images 0..n-1 directly —
+                 the same ascending order the old per-node
+                 [Structure.universe] list gave, without allocating it
+                 once per backtrack node. *)
+              match Hashtbl.find_opt forced a with
+              | Some b -> try_image b
+              | None ->
+                  let rec scan b = b < n && (try_image b || scan (b + 1)) in
+                  scan 0
           in
           extend 0
         end

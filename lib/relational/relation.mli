@@ -1,4 +1,11 @@
-(** Finite relations: sets of equal-arity tuples. *)
+(** Finite relations: sets of equal-arity tuples.
+
+    Flat-memory representation (DESIGN.md 5.12): the tuples live in one
+    contiguous row-major int array in ascending order, with a small
+    functional add/remove overlay folded back in once it grows past a
+    fraction of the array.  [mem] is binary search; bulk builders and
+    {!iter_flat} touch no per-tuple heap blocks.  All observable
+    behavior matches the frozen {!Relation_ref}. *)
 
 type t
 
@@ -16,6 +23,9 @@ val add : Tuple.t -> t -> t
 val remove : Tuple.t -> t -> t
 
 val of_list : int -> Tuple.t list -> t
+(** Bulk build: one array fill, one sort, one dedup sweep — the load
+    path for million-tuple relations. *)
+
 val of_pairs : (int * int) list -> t
 (** Convenience builder for binary relations. *)
 
@@ -40,5 +50,22 @@ val rename : (int -> int) -> t -> t
 
 val max_elt : t -> int
 (** Largest element mentioned, -1 if empty. *)
+
+(** {1 Flat access}
+
+    The zero-allocation face of the representation, used by the Gaifman
+    builder, the refinement seed of {!Iso}, and every consumer that
+    only reads cells. *)
+
+val iter_flat : (int array -> int -> unit) -> t -> unit
+(** [iter_flat f r] calls [f buf off] once per tuple in ascending order;
+    the tuple occupies [buf.(off) .. buf.(off + arity r - 1)].  On a
+    compacted value (any bulk-built relation) no per-tuple allocation
+    happens; the buffer must not be mutated. *)
+
+val flatten : t -> t
+(** An overlay-free equivalent value — O(1) when already flat.  Useful
+    before a long sequence of [mem]/[iter_flat] on a freshly edited
+    relation. *)
 
 val pp : Format.formatter -> t -> unit

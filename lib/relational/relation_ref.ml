@@ -1,0 +1,53 @@
+(* The pre-flat relation representation (balanced tree of boxed tuples),
+   frozen verbatim as the equivalence reference for the columnar
+   [Relation] (DESIGN.md 5.12) — the same pattern as [Neighborhood_ref].
+   Every public operation of [Relation] that both modules share must
+   agree observation-for-observation; test/test_flatcore.ml drives
+   random op sequences through both. *)
+
+type t = { arity : int; tuples : Tuple.Set.t }
+
+let empty arity =
+  if arity < 1 then invalid_arg "Relation.empty: arity < 1";
+  { arity; tuples = Tuple.Set.empty }
+
+let arity r = r.arity
+let cardinal r = Tuple.Set.cardinal r.tuples
+let is_empty r = Tuple.Set.is_empty r.tuples
+
+let mem t r = Tuple.Set.mem t r.tuples
+
+let add t r =
+  if Tuple.arity t <> r.arity then invalid_arg "Relation.add: arity mismatch";
+  { r with tuples = Tuple.Set.add t r.tuples }
+
+let remove t r = { r with tuples = Tuple.Set.remove t r.tuples }
+
+let of_list arity ts = List.fold_left (fun r t -> add t r) (empty arity) ts
+
+let of_pairs ps = of_list 2 (List.map (fun (a, b) -> Tuple.pair a b) ps)
+
+let to_list r = Tuple.Set.elements r.tuples
+
+let iter f r = Tuple.Set.iter f r.tuples
+let fold f r acc = Tuple.Set.fold f r.tuples acc
+let filter p r = { r with tuples = Tuple.Set.filter p r.tuples }
+let for_all p r = Tuple.Set.for_all p r.tuples
+let exists p r = Tuple.Set.exists p r.tuples
+
+let union a b =
+  if a.arity <> b.arity then invalid_arg "Relation.union: arity mismatch";
+  { a with tuples = Tuple.Set.union a.tuples b.tuples }
+
+let equal a b = a.arity = b.arity && Tuple.Set.equal a.tuples b.tuples
+
+let restrict keep r = filter (fun t -> Array.for_all keep t) r
+
+let rename f r =
+  fold (fun t acc -> add (Array.map f t) acc) r (empty r.arity)
+
+let max_elt r = fold (fun t acc -> max acc (Tuple.max_elt t)) r (-1)
+
+let pp fmt r =
+  Format.fprintf fmt "{%s}"
+    (String.concat "; " (List.map Tuple.to_string (to_list r)))

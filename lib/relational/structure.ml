@@ -4,8 +4,23 @@ type t = {
   schema : Schema.t;
   size : int;
   names : string array option;
+  (* name -> lowest element id carrying it; built eagerly whenever a
+     names array is installed and never mutated afterwards, so sharing
+     a structure across wm_par domains stays race-free.  Lowest id wins
+     on duplicate names, matching the first-match linear scan this
+     index replaced (DESIGN.md 5.12). *)
+  idx : (string, int) Hashtbl.t option;
   rels : Relation.t Smap.t;
 }
+
+let index_names = function
+  | None -> None
+  | Some a ->
+      let h = Hashtbl.create (max 16 (Array.length a)) in
+      for i = Array.length a - 1 downto 0 do
+        Hashtbl.replace h a.(i) i
+      done;
+      Some h
 
 let create ?names schema size =
   if size < 0 then invalid_arg "Structure.create: negative size";
@@ -18,38 +33,49 @@ let create ?names schema size =
       (fun m (s : Schema.symbol) -> Smap.add s.name (Relation.empty s.arity) m)
       Smap.empty (Schema.symbols schema)
   in
-  { schema; size; names; rels }
+  { schema; size; names; idx = index_names names; rels }
 
 let schema g = g.schema
 let size g = g.size
 
 let universe g = List.init g.size Fun.id
 
+let iter_universe f g =
+  for i = 0 to g.size - 1 do
+    f i
+  done
+
+let fold_universe f g acc =
+  let acc = ref acc in
+  for i = 0 to g.size - 1 do
+    acc := f i !acc
+  done;
+  !acc
+
 let name_of g i =
   match g.names with Some a -> a.(i) | None -> string_of_int i
 
 let elt_of_name g name =
-  match g.names with
+  match g.idx with
   | None -> raise Not_found
-  | Some a ->
-      let rec go i =
-        if i = Array.length a then raise Not_found
-        else if a.(i) = name then i
-        else go (i + 1)
-      in
-      go 0
+  | Some h -> (
+      match Hashtbl.find_opt h name with
+      | Some i -> i
+      | None -> raise Not_found)
 
 let has_names g = g.names <> None
 
 let with_default_names g =
   match g.names with
   | Some _ -> g
-  | None -> { g with names = Some (Array.init g.size string_of_int) }
+  | None ->
+      let names = Some (Array.init g.size string_of_int) in
+      { g with names; idx = index_names names }
 
 let with_names g names =
   if Array.length names <> g.size then
     invalid_arg "Structure.with_names: names length mismatch";
-  { g with names = Some names }
+  { g with names = Some names; idx = index_names (Some names) }
 
 let relation g name =
   match Smap.find_opt name g.rels with
@@ -72,7 +98,15 @@ let set_relation g name r =
   if not (Schema.mem g.schema name) then raise Not_found;
   if Relation.arity r <> Schema.arity_of g.schema name then
     invalid_arg "Structure.set_relation: arity mismatch";
-  Relation.iter (check_tuple g) r;
+  let a = Relation.arity r in
+  Relation.iter_flat
+    (fun buf off ->
+      for p = 0 to a - 1 do
+        let x = buf.(off + p) in
+        if x < 0 || x >= g.size then
+          invalid_arg "Structure.add_tuple: element out of range"
+      done)
+    r;
   { g with rels = Smap.add name r g.rels }
 
 let fold_relations f g acc = Smap.fold f g.rels acc
@@ -102,7 +136,7 @@ let induced g sub =
   let rels =
     Smap.map (fun r -> Relation.rename rename (Relation.restrict keep r)) g.rels
   in
-  ({ schema = g.schema; size = k; names; rels }, old)
+  ({ schema = g.schema; size = k; names; idx = index_names names; rels }, old)
 
 (* --- edits ---------------------------------------------------------- *)
 
@@ -141,7 +175,7 @@ let apply_edit g = function
                    if i < g.size then base.(i)
                    else Option.value ~default:(string_of_int i) name))
       in
-      ({ g with size = g.size + 1; names }, [ fresh ])
+      ({ g with size = g.size + 1; names; idx = index_names names }, [ fresh ])
   | Remove_element x ->
       if x <> g.size - 1 then
         invalid_arg
@@ -168,7 +202,8 @@ let apply_edit g = function
       let names =
         match g.names with Some a -> Some (Array.sub a 0 x) | None -> None
       in
-      ({ g with size = x; names; rels }, List.sort_uniq compare !dirty)
+      ( { g with size = x; names; idx = index_names names; rels },
+        List.sort_uniq compare !dirty )
 
 let apply_edits g edits =
   let g', dirty =

@@ -16,13 +16,23 @@ val size : t -> int
 (** Universe cardinality. *)
 
 val universe : t -> int list
-(** [0; ...; size-1]. *)
+(** [0; ...; size-1].  Allocates a fresh list per call — hot loops
+    should use {!iter_universe}/{!fold_universe} instead. *)
+
+val iter_universe : (int -> unit) -> t -> unit
+(** [iter_universe f g] calls [f] on [0 .. size-1] ascending, without
+    materializing the universe list. *)
+
+val fold_universe : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Ascending allocation-free fold over [0 .. size-1]. *)
 
 val name_of : t -> int -> string
 (** Display name; defaults to the decimal element id. *)
 
 val elt_of_name : t -> string -> int
-(** Inverse lookup. @raise Not_found if no element has that name. *)
+(** Inverse lookup, O(1) via an index built when names are installed;
+    the lowest id wins when names collide. @raise Not_found if no
+    element has that name. *)
 
 val has_names : t -> bool
 (** Does the structure carry an explicit names array? *)

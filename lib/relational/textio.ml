@@ -75,25 +75,32 @@ let to_string (ws : Weighted.structure) =
           (Schema.symbols (Structure.schema g))));
   add "weight_arity %d\n" (Schema.weight_arity (Structure.schema g));
   add "size %d\n" (Structure.size g);
-  List.iter
+  Structure.iter_universe
     (fun x ->
       let n = Structure.name_of g x in
       if n <> string_of_int x then add "name %d %s\n" x (escape_name n))
-    (Structure.universe g);
+    g;
   Structure.fold_relations
     (fun name r () ->
-      Relation.iter
-        (fun t ->
-          add "rel %s %s\n" name
-            (String.concat " " (List.map string_of_int (Tuple.to_list t))))
+      let a = Relation.arity r in
+      Relation.iter_flat
+        (fun rbuf off ->
+          add "rel %s" name;
+          for p = 0 to a - 1 do
+            add " %d" rbuf.(off + p)
+          done;
+          add "\n")
         r)
     g ();
-  List.iter
-    (fun (t, v) ->
-      add "weight %s %d\n"
-        (String.concat " " (List.map string_of_int (Tuple.to_list t)))
-        v)
-    (Weighted.bindings ws.Weighted.weights);
+  let wa = Weighted.arity ws.Weighted.weights in
+  Weighted.iter_bindings_flat
+    (fun wbuf off v ->
+      add "weight";
+      for p = 0 to wa - 1 do
+        add " %d" wbuf.(off + p)
+      done;
+      add " %d\n" v)
+    ws.Weighted.weights;
   Buffer.contents buf
 
 (* The total parser.  Every failure path — including library-level
@@ -179,14 +186,37 @@ let of_string_result text =
         Some a
       end
     in
-    let g = ref (Structure.create ?names:name_arr schema size) in
+    let g0 = Structure.create ?names:name_arr schema size in
+    (* Bulk load: validate the lines in file order with exactly the
+       checks (and messages) the per-line [Structure.add_tuple] fold
+       performed — range, then symbol, then arity — then group by
+       relation and build each with one [Relation.of_list] sort instead
+       of a million functional inserts. *)
+    let by_rel = Hashtbl.create 8 in
     List.iter
       (fun (line, name, elts) ->
-        match Structure.add_tuple !g name (Tuple.of_list elts) with
-        | g' -> g := g'
-        | exception Not_found -> fail ~line "unknown relation %S" name
-        | exception Invalid_argument m -> fail ~line "bad tuple for %s: %s" name m)
+        let t = Tuple.of_list elts in
+        if Array.exists (fun x -> x < 0 || x >= size) t then
+          fail ~line "bad tuple for %s: %s" name
+            "Structure.add_tuple: element out of range";
+        if not (Schema.mem schema name) then
+          fail ~line "unknown relation %S" name;
+        if Tuple.arity t <> Schema.arity_of schema name then
+          fail ~line "bad tuple for %s: %s" name "Relation.add: arity mismatch";
+        let prev = try Hashtbl.find by_rel name with Not_found -> [] in
+        Hashtbl.replace by_rel name (t :: prev))
       (List.rev !rels);
+    let g =
+      ref
+        (List.fold_left
+           (fun g (s : Schema.symbol) ->
+             match Hashtbl.find_opt by_rel s.name with
+             | None -> g
+             | Some ts ->
+                 Structure.set_relation g s.name
+                   (Relation.of_list s.arity (List.rev ts)))
+           g0 (Schema.symbols schema))
+    in
     let w =
       List.fold_left
         (fun w (line, t, v) ->

@@ -13,7 +13,10 @@
 
 type t
 (** A weight assignment.  Tuples without an explicit entry weigh
-    [default] (0 unless stated otherwise). *)
+    [default] (0 unless stated otherwise).  Flat-memory representation
+    (DESIGN.md 5.12): explicit entries are a sorted contiguous key
+    array plus an unboxed Bigarray of weights; behavior matches the
+    frozen {!Weighted_ref}. *)
 
 val create : ?default:int -> int -> t
 (** [create arity] is the empty assignment on [arity]-tuples. *)
@@ -37,6 +40,12 @@ val of_list : ?default:int -> int -> (Tuple.t * int) list -> t
 val bindings : t -> (Tuple.t * int) list
 (** Explicit entries, ascending tuple order. *)
 
+val iter_bindings_flat : (int array -> int -> int -> unit) -> t -> unit
+(** [iter_bindings_flat f w] calls [f buf off v] once per explicit entry
+    in ascending tuple order; the key occupies [buf.(off) .. buf.(off +
+    arity w - 1)].  Zero per-entry allocation on a bulk-built value; the
+    buffer must not be mutated. *)
+
 val support : t -> Tuple.t list
 (** Tuples with an explicit entry. *)
 
@@ -47,8 +56,10 @@ val apply_marks : t -> (Tuple.t * int) list -> t
 (** Adds every listed delta; the list is a mark in the paper's sense. *)
 
 val local_distance : t -> t -> int
-(** sup-distance max_w |W(w) - W'(w)| over the union of supports.  This is
-    the smallest c for which the c-local distortion assumption holds. *)
+(** sup-distance max_w |W(w) - W'(w)| over {e all} tuples: the union of
+    supports, plus the [|default - default'|] delta every off-support
+    tuple contributes.  This is the smallest c for which the c-local
+    distortion assumption holds. *)
 
 val is_local_distortion : c:int -> t -> t -> bool
 (** Does the second assignment satisfy the c-local assumption wrt the

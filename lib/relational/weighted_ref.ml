@@ -1,0 +1,66 @@
+(* The pre-flat weight-assignment representation (balanced map keyed by
+   boxed tuples), frozen as the equivalence reference for the columnar
+   [Weighted] (DESIGN.md 5.12).  Only the assignment part is kept — the
+   weighted-structure pairing lives with the live module.
+
+   One deliberate deviation from the PR 7 code: [local_distance] here
+   carries the same semantic bugfix as the live module (the |default -
+   default'| term for tuples outside both supports), so the equivalence
+   suite pins representation changes and the fix at once. *)
+
+type t = { arity : int; default : int; entries : int Tuple.Map.t }
+
+let create ?(default = 0) arity =
+  if arity < 1 then invalid_arg "Weighted.create: arity < 1";
+  { arity; default; entries = Tuple.Map.empty }
+
+let arity w = w.arity
+let default w = w.default
+
+let get w t =
+  match Tuple.Map.find_opt t w.entries with
+  | Some v -> v
+  | None -> w.default
+
+let set w t v =
+  if Tuple.arity t <> w.arity then invalid_arg "Weighted.set: arity mismatch";
+  { w with entries = Tuple.Map.add t v w.entries }
+
+let set_elt w x v = set w (Tuple.singleton x) v
+let get_elt w x = get w (Tuple.singleton x)
+
+let of_list ?(default = 0) arity l =
+  List.fold_left (fun w (t, v) -> set w t v) (create ~default arity) l
+
+let bindings w = Tuple.Map.bindings w.entries
+
+let support w = List.map fst (bindings w)
+
+let add_delta w t d = set w t (get w t + d)
+
+let apply_marks w marks =
+  List.fold_left (fun w (t, d) -> add_delta w t d) w marks
+
+let union_support a b =
+  Tuple.Set.union
+    (Tuple.Set.of_list (support a))
+    (Tuple.Set.of_list (support b))
+
+let local_distance a b =
+  if a.arity <> b.arity then invalid_arg "Weighted.local_distance: arity";
+  Tuple.Set.fold
+    (fun t acc -> max acc (abs (get a t - get b t)))
+    (union_support a b)
+    (abs (a.default - b.default))
+
+let is_local_distortion ~c a b = local_distance a b <= c
+
+let equal a b =
+  a.arity = b.arity && local_distance a b = 0 && a.default = b.default
+
+let pp fmt w =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (t, v) -> Format.fprintf fmt "W%a = %d@," Tuple.pp t v)
+    (bindings w);
+  Format.fprintf fmt "@]"

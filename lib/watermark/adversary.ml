@@ -112,17 +112,27 @@ let apply_structural g attack (ws : Weighted.structure) =
   let n = Structure.size graph in
   match attack with
   | Delete_tuples { fraction } ->
+      (* one bernoulli per element, ascending — same draw order as the
+         universe-list filter this replaces *)
       let kept =
-        List.filter (fun _ -> not (Prng.bernoulli g fraction)) (Structure.universe graph)
+        List.rev
+          (Structure.fold_universe
+             (fun x acc -> if Prng.bernoulli g fraction then acc else x :: acc)
+             graph [])
       in
       let kept = if kept = [] then [ 0 ] else kept in
       induce_weighted ws kept
   | Subset_sample { keep } ->
-      let kept = List.filter (fun _ -> Prng.bernoulli g keep) (Structure.universe graph) in
+      let kept =
+        List.rev
+          (Structure.fold_universe
+             (fun x acc -> if Prng.bernoulli g keep then x :: acc else acc)
+             graph [])
+      in
       let kept = if kept = [] then [ 0 ] else kept in
       induce_weighted ws kept
   | Shuffle_universe ->
-      let perm = Array.of_list (Structure.universe graph) in
+      let perm = Array.init n Fun.id in
       Prng.shuffle g perm;
       induce_weighted ws (Array.to_list perm)
   | Insert_noise_tuples { count; amplitude } ->

@@ -249,12 +249,12 @@ module Smap = Map.Make (String)
    erasure is honest) — the Survivable convention. *)
 let name_index g =
   let index, dup =
-    List.fold_left
-      (fun (index, dup) x ->
+    Structure.fold_universe
+      (fun x (index, dup) ->
         let n = Structure.name_of g x in
         if Smap.mem n index then (index, Smap.add n () dup)
         else (Smap.add n x index, dup))
-      (Smap.empty, Smap.empty) (Structure.universe g)
+      g (Smap.empty, Smap.empty)
   in
   Smap.filter (fun n _ -> not (Smap.mem n dup)) index
 
@@ -533,7 +533,10 @@ let repair ?jobs c ~suspect =
       if Hashtbl.length image <> total then None
       else begin
         let extras =
-          List.filter (fun x -> not (Hashtbl.mem image x)) (Structure.universe !sg)
+          List.rev
+            (Structure.fold_universe
+               (fun x acc -> if Hashtbl.mem image x then acc else x :: acc)
+               !sg [])
         in
         let keep = Array.to_list target @ extras in
         let g', old_of_new = Structure.induced !sg keep in

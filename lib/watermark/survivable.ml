@@ -29,12 +29,12 @@ module Smap = Map.Make (String)
    an erasure is honest). *)
 let name_index g =
   let index, dup =
-    List.fold_left
-      (fun (index, dup) x ->
+    Structure.fold_universe
+      (fun x (index, dup) ->
         let n = Structure.name_of g x in
         if Smap.mem n index then (index, Smap.add n () dup)
         else (Smap.add n x index, dup))
-      (Smap.empty, Smap.empty) (Structure.universe g)
+      g (Smap.empty, Smap.empty)
   in
   Smap.filter (fun n _ -> not (Smap.mem n dup)) index
 

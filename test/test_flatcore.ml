@@ -1,0 +1,301 @@
+(* The flat-memory core (DESIGN.md 5.12): columnar [Relation] and
+   [Weighted] must be bit-identical to the frozen pre-flat
+   representations ([Relation_ref], [Weighted_ref]) on random op
+   sequences — including sequences long enough to cross the overlay
+   compaction threshold — and the Structure universe/name fast paths
+   must agree with the list/scan semantics they replaced.  Also pins
+   the PR 8 semantic bugfix: [Weighted.local_distance] accounts for
+   differing defaults off-support. *)
+
+open Wm_util
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let rand_tuple g ar range = Tuple.of_list (List.init ar (fun _ -> Prng.int g range))
+
+let rand_tuples g ~count ar range = List.init count (fun _ -> rand_tuple g ar range)
+
+(* --- Relation == Relation_ref ---------------------------------------- *)
+
+let same_relation (r : Relation.t) (rr : Relation_ref.t) =
+  Relation.arity r = Relation_ref.arity rr
+  && Relation.cardinal r = Relation_ref.cardinal rr
+  && Relation.to_list r = Relation_ref.to_list rr
+
+let prop_relation_ops =
+  QCheck.Test.make ~count:120 ~name:"Relation op sequences == Relation_ref"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let g = Prng.create (0xF1A7 + seed) in
+      let ar = 1 + Prng.int g 3 in
+      let range = 2 + Prng.int g 8 in
+      (* sometimes start from a bulk build big enough that add/remove
+         sequences cross the compaction threshold *)
+      let init =
+        if Prng.bernoulli g 0.5 then rand_tuples g ~count:(Prng.int g 300) ar range
+        else []
+      in
+      let r = ref (Relation.of_list ar init)
+      and rr = ref (Relation_ref.of_list ar init) in
+      let ok = ref (same_relation !r !rr) in
+      let steps = 1 + Prng.int g 150 in
+      for _ = 1 to steps do
+        (match Prng.int g 8 with
+        | 0 | 1 | 2 ->
+            let t = rand_tuple g ar range in
+            r := Relation.add t !r;
+            rr := Relation_ref.add t !rr
+        | 3 | 4 ->
+            let t = rand_tuple g ar range in
+            r := Relation.remove t !r;
+            rr := Relation_ref.remove t !rr
+        | 5 ->
+            let parity = Prng.int g 2 in
+            let p t = Array.fold_left ( + ) 0 t mod 2 = parity in
+            r := Relation.filter p !r;
+            rr := Relation_ref.filter p !rr
+        | 6 ->
+            let m = 1 + Prng.int g range in
+            let f x = x mod m in
+            r := Relation.rename f !r;
+            rr := Relation_ref.rename f !rr
+        | _ ->
+            let other = rand_tuples g ~count:(Prng.int g 40) ar range in
+            r := Relation.union !r (Relation.of_list ar other);
+            rr := Relation_ref.union !rr (Relation_ref.of_list ar other));
+        ok := !ok && same_relation !r !rr
+      done;
+      (* membership probes, including wrong-arity tuples (false, no
+         error — the Tuple.Set length-first compare contract) *)
+      for _ = 1 to 30 do
+        let t = rand_tuple g (1 + Prng.int g 4) range in
+        ok := !ok && Relation.mem t !r = Relation_ref.mem t !rr
+      done;
+      ok := !ok && Relation.max_elt !r = Relation_ref.max_elt !rr;
+      ok :=
+        !ok
+        && Relation.restrict (fun x -> x mod 2 = 0) !r |> Relation.to_list
+           = (Relation_ref.restrict (fun x -> x mod 2 = 0) !rr
+             |> Relation_ref.to_list);
+      !ok)
+
+let prop_relation_iter_flat =
+  QCheck.Test.make ~count:80
+    ~name:"Relation.iter_flat/iter/fold/equal agree with to_list"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let g = Prng.create (0xF2B8 + seed) in
+      let ar = 1 + Prng.int g 3 in
+      let range = 2 + Prng.int g 9 in
+      let r0 = Relation.of_list ar (rand_tuples g ~count:(Prng.int g 200) ar range) in
+      (* push a few edits through so the overlay path is exercised too *)
+      let r =
+        List.fold_left
+          (fun r t -> if Prng.bernoulli g 0.5 then Relation.add t r else Relation.remove t r)
+          r0
+          (rand_tuples g ~count:(Prng.int g 20) ar range)
+      in
+      let viaflat = ref [] in
+      Relation.iter_flat
+        (fun buf off -> viaflat := Array.sub buf off ar :: !viaflat)
+        r;
+      let viaflat = List.rev !viaflat in
+      viaflat = Relation.to_list r
+      && Relation.fold (fun t acc -> t :: acc) r [] = List.rev (Relation.to_list r)
+      && Relation.equal r (Relation.flatten r)
+      && Relation.equal r (Relation.of_list ar (Relation.to_list r))
+      && Relation.cardinal (Relation.flatten r) = Relation.cardinal r)
+
+(* --- Weighted == Weighted_ref ---------------------------------------- *)
+
+let same_weighted (w : Weighted.t) (wr : Weighted_ref.t) =
+  Weighted.arity w = Weighted_ref.arity wr
+  && Weighted.default w = Weighted_ref.default wr
+  && Weighted.bindings w = Weighted_ref.bindings wr
+
+let prop_weighted_ops =
+  QCheck.Test.make ~count:120 ~name:"Weighted op sequences == Weighted_ref"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let g = Prng.create (0x3E16 + seed) in
+      let ar = 1 + Prng.int g 2 in
+      let range = 2 + Prng.int g 8 in
+      let dflt = Prng.int g 5 in
+      let init =
+        List.init (Prng.int g 200) (fun _ -> (rand_tuple g ar range, Prng.int g 100))
+      in
+      let w = ref (Weighted.of_list ~default:dflt ar init)
+      and wr = ref (Weighted_ref.of_list ~default:dflt ar init) in
+      let ok = ref (same_weighted !w !wr) in
+      let steps = 1 + Prng.int g 120 in
+      for _ = 1 to steps do
+        (match Prng.int g 4 with
+        | 0 | 1 ->
+            let t = rand_tuple g ar range and v = Prng.int g 100 in
+            w := Weighted.set !w t v;
+            wr := Weighted_ref.set !wr t v
+        | 2 ->
+            let t = rand_tuple g ar range and d = Prng.int g 5 - 2 in
+            w := Weighted.add_delta !w t d;
+            wr := Weighted_ref.add_delta !wr t d
+        | _ ->
+            let marks =
+              List.init (Prng.int g 10) (fun _ ->
+                  (rand_tuple g ar range, if Prng.bernoulli g 0.5 then 1 else -1))
+            in
+            w := Weighted.apply_marks !w marks;
+            wr := Weighted_ref.apply_marks !wr marks);
+        ok := !ok && same_weighted !w !wr
+      done;
+      for _ = 1 to 30 do
+        let t = rand_tuple g ar range in
+        ok := !ok && Weighted.get !w t = Weighted_ref.get !wr t
+      done;
+      (* a second assignment: distance/distortion/equal must agree *)
+      let init2 =
+        List.init (Prng.int g 60) (fun _ -> (rand_tuple g ar range, Prng.int g 100))
+      in
+      let d2 = Prng.int g 5 in
+      let w2 = Weighted.of_list ~default:d2 ar init2
+      and wr2 = Weighted_ref.of_list ~default:d2 ar init2 in
+      ok := !ok && Weighted.local_distance !w w2 = Weighted_ref.local_distance !wr wr2;
+      ok :=
+        !ok
+        && Weighted.is_local_distortion ~c:3 !w w2
+           = Weighted_ref.is_local_distortion ~c:3 !wr wr2;
+      ok := !ok && Weighted.equal !w w2 = Weighted_ref.equal !wr wr2;
+      ok := !ok && Weighted.equal !w !w && Weighted_ref.equal !wr !wr;
+      !ok)
+
+(* --- the local_distance default-delta bugfix ------------------------- *)
+
+let test_local_distance_defaults () =
+  (* equal supports, different defaults: the pre-PR 8 fold over the
+     union of supports reported 0 here *)
+  let t = Tuple.singleton 0 in
+  let a = Weighted.set (Weighted.create ~default:0 1) t 5 in
+  let b = Weighted.set (Weighted.create ~default:5 1) t 5 in
+  check int "off-support default delta counts" 5 (Weighted.local_distance a b);
+  check bool "not a 4-local distortion" false (Weighted.is_local_distortion ~c:4 a b);
+  check bool "is a 5-local distortion" true (Weighted.is_local_distortion ~c:5 a b);
+  (* empty supports entirely *)
+  check int "empty assignments, defaults 2 vs 7" 5
+    (Weighted.local_distance (Weighted.create ~default:2 1) (Weighted.create ~default:7 1));
+  (* one-sided support still measured against the other default *)
+  let c = Weighted.set (Weighted.create ~default:0 1) t 9 in
+  check int "one-sided support vs default" 9
+    (Weighted.local_distance c (Weighted.create ~default:0 1));
+  (* equal keeps its guard: distance 0 and equal defaults *)
+  check bool "equal same defaults" true
+    (Weighted.equal (Weighted.create ~default:3 1) (Weighted.create ~default:3 1));
+  check bool "different defaults never equal" false
+    (Weighted.equal (Weighted.create ~default:3 1) (Weighted.create ~default:4 1));
+  check bool "explicit default-valued entry stays an entry" true
+    (Weighted.bindings (Weighted.set (Weighted.create 1) t 0) = [ (t, 0) ])
+
+(* --- Structure universe / name fast paths ---------------------------- *)
+
+let test_universe_iteration () =
+  let schema = Schema.make ~weight_arity:1 [ { Schema.name = "E"; arity = 2 } ] in
+  let g = Structure.create schema 7 in
+  let via_iter = ref [] in
+  Structure.iter_universe (fun x -> via_iter := x :: !via_iter) g;
+  check (Alcotest.list int) "iter_universe ascending" (Structure.universe g)
+    (List.rev !via_iter);
+  check (Alcotest.list int) "fold_universe ascending"
+    (Structure.universe g)
+    (List.rev (Structure.fold_universe (fun x acc -> x :: acc) g []));
+  let empty = Structure.create schema 0 in
+  check int "empty fold" 0 (Structure.fold_universe (fun _ acc -> acc + 1) empty 0)
+
+let test_elt_of_name () =
+  let schema = Schema.make ~weight_arity:1 [ { Schema.name = "E"; arity = 2 } ] in
+  let g = Structure.create schema 4 in
+  (match Structure.elt_of_name g "a" with
+  | _ -> Alcotest.fail "expected Not_found without names"
+  | exception Not_found -> ());
+  let g = Structure.with_names g [| "a"; "b"; "a"; "d" |] in
+  check int "first name" 0 (Structure.elt_of_name g "a");
+  check int "middle name" 1 (Structure.elt_of_name g "b");
+  check int "last name" 3 (Structure.elt_of_name g "d");
+  (match Structure.elt_of_name g "zz" with
+  | _ -> Alcotest.fail "expected Not_found for unknown name"
+  | exception Not_found -> ());
+  (* index follows edits: appended elements are findable, removed not *)
+  let g1, _ = Structure.apply_edit g (Structure.Add_element (Some "e")) in
+  check int "appended name" 4 (Structure.elt_of_name g1 "e");
+  let g2, _ = Structure.apply_edit g1 (Structure.Remove_element 4) in
+  (match Structure.elt_of_name g2 "e" with
+  | _ -> Alcotest.fail "expected Not_found after removal"
+  | exception Not_found -> ());
+  let g3 = Structure.with_default_names (Structure.create schema 3) in
+  check int "default names indexed" 2 (Structure.elt_of_name g3 "2")
+
+(* --- Textio round-trips over the flat representations ---------------- *)
+
+let prop_textio_roundtrip =
+  QCheck.Test.make ~count:40 ~name:"Textio round-trip on flat reps"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let g = Prng.create (0x7E10 + seed) in
+      let n = 3 + Prng.int g 12 in
+      let ws =
+        Wm_workload.Random_struct.graph g ~n ~max_degree:4 ~edges:(1 + Prng.int g (2 * n))
+      in
+      let ws =
+        if Prng.bernoulli g 0.5 then
+          { ws with Weighted.graph = Structure.with_default_names ws.Weighted.graph }
+        else ws
+      in
+      let ws' = Textio.of_string (Textio.to_string ws) in
+      Structure.equal ws.Weighted.graph ws'.Weighted.graph
+      && Weighted.equal ws.Weighted.weights ws'.Weighted.weights
+      && Textio.to_string ws = Textio.to_string ws')
+
+let test_textio_bulk_errors () =
+  (* the bulk loader must report the same errors, same lines, same
+     precedence (range, then symbol, then arity) as the per-line fold *)
+  let base = "schema E/2\nweight_arity 1\nsize 3\n" in
+  let err text =
+    match Textio.of_string_result text with
+    | Ok _ -> Alcotest.fail "expected parse error"
+    | Error e -> Textio.error_to_string e
+  in
+  check Alcotest.string "range error"
+    "line 4: bad tuple for E: Structure.add_tuple: element out of range"
+    (err (base ^ "rel E 0 7\n"));
+  check Alcotest.string "unknown relation" "line 4: unknown relation \"F\""
+    (err (base ^ "rel F 0 1\n"));
+  check Alcotest.string "arity error"
+    "line 4: bad tuple for E: Relation.add: arity mismatch"
+    (err (base ^ "rel E 0 1 2\n"));
+  check Alcotest.string "range beats symbol beats arity"
+    "line 4: bad tuple for F: Structure.add_tuple: element out of range"
+    (err (base ^ "rel F 9\n"));
+  check Alcotest.string "first bad line wins"
+    "line 4: unknown relation \"F\""
+    (err (base ^ "rel F 0 1\nrel E 0 7\n"));
+  check Alcotest.string "weight arity error"
+    "line 4: bad weight: Weighted.set: arity mismatch"
+    (err (base ^ "weight 0 1 5\n"));
+  (* duplicate rel lines dedupe exactly like repeated add *)
+  match Textio.of_string_result (base ^ "rel E 0 1\nrel E 0 1\nrel E 1 2\n") with
+  | Error e -> Alcotest.fail (Textio.error_to_string e)
+  | Ok ws ->
+      check int "dedup cardinal" 2
+        (Relation.cardinal (Structure.relation ws.Weighted.graph "E"))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_relation_ops;
+    QCheck_alcotest.to_alcotest prop_relation_iter_flat;
+    QCheck_alcotest.to_alcotest prop_weighted_ops;
+    Alcotest.test_case "local_distance default deltas" `Quick
+      test_local_distance_defaults;
+    Alcotest.test_case "universe iteration" `Quick test_universe_iteration;
+    Alcotest.test_case "elt_of_name" `Quick test_elt_of_name;
+    QCheck_alcotest.to_alcotest prop_textio_roundtrip;
+    Alcotest.test_case "textio bulk-load errors" `Quick test_textio_bulk_errors;
+  ]

@@ -7,6 +7,7 @@ let () =
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
       ("relational", Test_relational.suite);
+      ("flatcore", Test_flatcore.suite);
       ("incremental", Test_incremental.suite);
       ("perf", Test_perf.suite);
       ("logic", Test_logic.suite);
