@@ -2152,6 +2152,182 @@ let e26 () =
      size's (ref load + detect) / (flat load + detect) and feeds the\n\
      >= 2x CI guard.\n"
 
+(* --- E27: multi-recipient fingerprinting (PR 9) --------------------
+
+   Batch generation of fingerprinted copies through the serving layer
+   (one request, [count] recipients fanned onto the pool, digests as the
+   proof of work), a planted-leak trace over the candidate population,
+   and the collusion grid (coalition size x attack) measured directly on
+   the library.  Two engines at jobs 1 and 2 replay the identical
+   request stream; the raw response bytes must match. *)
+
+let e27 () =
+  header "E27. Multi-recipient fingerprinting: batch generation and tracing";
+  let env_int name default floor =
+    match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+    | Some v when v >= floor -> v
+    | _ -> default
+  in
+  let n = env_int "WMARK_E27_N" 100_000 500 in
+  let copies = env_int "WMARK_E27_COPIES" 10_000 20 in
+  let population = env_int "WMARK_E27_RECIPIENTS" 1_000 50 in
+  let master = 0xF1D0 and gen_seed = 0x27 and prep_seed = 27 in
+  let leak = "r7" in
+  (* The engine's dataset rebuilt locally — same rings, same prepare
+     options, same identity query system — to plant a leaked copy for
+     the serve-side trace and to drive the collusion grid. *)
+  let ws = Random_struct.regular_rings (Prng.create gen_seed) ~n in
+  let qs =
+    Query_system.of_custom
+      ~params:(List.init (Structure.size ws.Weighted.graph) Tuple.singleton)
+      ~result_set:(fun p -> Tuple.Set.singleton p)
+      ~weight_arity:1
+  in
+  let q = Parser.query_of_string ~params:[ "u" ] ~results:[ "v" ] "u = v" in
+  let options =
+    { Local_scheme.default_options with seed = prep_seed; rho = Some 1; epsilon = 1.0 }
+  in
+  let scheme =
+    match Local_scheme.prepare ~options ~qs ws q with
+    | Ok s -> s
+    | Error m -> failwith ("e27 prepare: " ^ m)
+  in
+  (* production-redundancy geometry (9 interleaved repetitions) when the
+     capacity allows it; the scheme's defaults otherwise *)
+  let fp =
+    match Fingerprint.of_local ~times:9 ~master scheme with
+    | Ok f -> f
+    | Error _ -> (
+        match Fingerprint.of_local ~master scheme with
+        | Ok f -> f
+        | Error m -> failwith ("e27 fingerprint: " ^ m))
+  in
+  let length = Fingerprint.length fp and times = Fingerprint.times fp in
+  let planted =
+    Textio.to_string
+      { ws with Weighted.weights = Fingerprint.mark_for fp leak ws.Weighted.weights }
+  in
+  let fpreq =
+    Serve_protocol.Fingerprint
+      { id = "fp"; master; length = Some length; times = Some times;
+        prefix = "r"; count = copies }
+  in
+  let treq =
+    Serve_protocol.Trace
+      { id = "fp"; master; length = Some length; times = Some times;
+        prefix = "r"; count = population; alpha = 0.01; suspect = Some planted }
+  in
+  let run jobs =
+    let engine = Serve_engine.create ~jobs () in
+    let raw req = Serve_engine.handle engine (Serve_protocol.encode_request req) in
+    let ok what payload =
+      match Serve_protocol.decode_response payload with
+      | Ok ({ Serve_protocol.status = `Ok _; _ } as r) -> r
+      | Ok { Serve_protocol.status = `Err m; _ } ->
+          failwith (Printf.sprintf "e27 %s: %s" what m)
+      | Error m -> failwith (Printf.sprintf "e27 %s: bad response: %s" what m)
+    in
+    let _, gen_s =
+      secs (fun () ->
+          ok "gen" (raw (Serve_protocol.Gen { id = "fp"; n; seed = gen_seed })))
+    in
+    let _, prep_s =
+      secs (fun () ->
+          ok "prepare"
+            (raw
+               (Serve_protocol.Prepare
+                  { id = "fp"; seed = prep_seed; rho = Some 1; epsilon = 1.0;
+                    shard = false; qspec = Serve_protocol.Identity })))
+    in
+    let fp_payload, fp_s = secs (fun () -> raw fpreq) in
+    let fp_resp = ok "fingerprint" fp_payload in
+    let tr_payload, tr_s = secs (fun () -> raw treq) in
+    let tr_resp = ok "trace" tr_payload in
+    (gen_s, prep_s, fp_payload, fp_resp, fp_s, tr_payload, tr_resp, tr_s)
+  in
+  let gen1, prep1, fpp1, fpr1, fps1, trp1, trr1, trs1 = run 1 in
+  let _gen2, _prep2, fpp2, _fpr2, fps2, trp2, _trr2, trs2 = run 2 in
+  let serve_identical = String.equal fpp1 fpp2 && String.equal trp1 trp2 in
+  let field r k =
+    match Serve_protocol.field r k with
+    | Some v -> v
+    | None -> failwith ("e27: missing response field " ^ k)
+  in
+  let leak_traced = field trr1 "accused" = leak && field trr1 "naccused" = "1" in
+  let digest_lines =
+    List.length (String.split_on_char '\n' (Option.value ~default:"" fpr1.Serve_protocol.body))
+  in
+  let best_fp_s = Float.min fps1 fps2 in
+  let t = Texttab.create [ "step"; "value" ] in
+  Texttab.addf t "instance|%d elements (rings), %d recipients" n population;
+  Texttab.addf t "codeword|%d bits x %d repetitions" length times;
+  Texttab.addf t "gen / prepare|%.2f / %.2f s" gen1 prep1;
+  Texttab.addf t "fingerprint %d copies (jobs 1)|%.2f s" copies fps1;
+  Texttab.addf t "fingerprint %d copies (jobs 2)|%.2f s" copies fps2;
+  Texttab.addf t "generation throughput|%.0f copies/s" (float_of_int copies /. best_fp_s);
+  Texttab.addf t "digest lines returned|%d" digest_lines;
+  Texttab.addf t "trace %d candidates (jobs 1 / 2)|%.2f / %.2f s" population trs1 trs2;
+  Texttab.addf t "planted leak %s uniquely accused|%b" leak leak_traced;
+  Texttab.addf t "responses identical across job counts|%b" serve_identical;
+  Texttab.print t;
+  (* -- the collusion grid ------------------------------------------- *)
+  let grid_fp =
+    match Fingerprint.of_local ~length:256 ~times:3 ~master scheme with
+    | Ok f -> f
+    | Error _ -> fp
+  in
+  let report, grid_s =
+    secs (fun () ->
+        Fingerprint.run_grid ~alpha:0.001 ~recipients:[ population ] grid_fp
+          ws.Weighted.weights)
+  in
+  print_newline ();
+  print_string (Fingerprint.render_grid report);
+  Printf.printf "grid: %.2f s\n" grid_s;
+  let rows = report.Fingerprint.rows in
+  let false_total =
+    List.fold_left
+      (fun a (o : Fingerprint.outcome) -> a + o.false_accusations)
+      0 rows
+  in
+  let all_traced = List.for_all (fun (o : Fingerprint.outcome) -> o.traced) rows in
+  let min_accuracy =
+    List.fold_left (fun a (o : Fingerprint.outcome) -> Float.min a o.accuracy) 1.0 rows
+  in
+  let solo_clean =
+    List.for_all
+      (fun (o : Fingerprint.outcome) ->
+        o.coalition > 1 || (o.false_accusations = 0 && o.accuracy = 1.0))
+      rows
+  in
+  record_scalars ~experiment:"e27"
+    [
+      ("n", Json.Int n);
+      ("copies", Json.Int copies);
+      ("recipients", Json.Int population);
+      ("length", Json.Int length);
+      ("times", Json.Int times);
+      ("fingerprint_s", Json.Float best_fp_s);
+      ("copies_per_s", Json.Float (float_of_int copies /. best_fp_s));
+      ("trace_s", Json.Float (Float.min trs1 trs2));
+      ("serve_identical", Json.Bool serve_identical);
+      ("leak_traced", Json.Bool leak_traced);
+      ("grid_false_accusations", Json.Int false_total);
+      ("grid_all_traced", Json.Bool all_traced);
+      ("grid_min_accuracy", Json.Float min_accuracy);
+      ("grid_no_collusion_clean", Json.Bool solo_clean);
+      ("grid", Fingerprint.grid_to_json report);
+    ];
+  Printf.printf
+    "One prepared scheme serves every recipient: the fingerprint request\n\
+     derives %d keys from the master, embeds each codeword on the pool and\n\
+     returns per-copy digests; the trace request scores all %d candidates\n\
+     against the planted copy under the Sidak-corrected threshold.  The\n\
+     grid colludes k copies per cell (majority / mix / interleave, per-copy\n\
+     laundering noise) and must accuse members only — false accusations\n\
+     feed the CI guard.\n"
+    copies population
+
 (* ------------------------------------------------------------------ *)
 
 let experiments =
@@ -2160,7 +2336,7 @@ let experiments =
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
     ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22); ("e23", e23);
-    ("e24", e24); ("e25", e25); ("e26", e26);
+    ("e24", e24); ("e25", e25); ("e26", e26); ("e27", e27);
   ]
 
 let () =
@@ -2274,7 +2450,7 @@ let () =
         (Json.Obj
            ([
               ("schema", Json.String "qpwm-bench/1");
-              ("pr", Json.Int 8);
+              ("pr", Json.Int 9);
               ("jobs", Json.Int (Par.jobs ()));
               ("pool_size", Json.Int (Par.pool_size ()));
               ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));

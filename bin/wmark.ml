@@ -492,6 +492,127 @@ let attack_cmd =
       $ redundancies $ csv $ json $ only)
 
 (* ------------------------------------------------------------------ *)
+(* fingerprint / trace — multi-recipient marking and traitor tracing *)
+
+let master_term =
+  let doc = "Master fingerprinting key; per-recipient keys derive from it." in
+  Arg.(value & opt int 0xF1D0 & info [ "master" ] ~docv:"KEY" ~doc)
+
+let fp_length_term =
+  let doc = "Codeword length in bits (default min 128 capacity)." in
+  Arg.(value & opt (some int) None & info [ "length" ] ~docv:"N" ~doc)
+
+let fp_times_term =
+  let doc = "Codeword repetitions (default the largest odd fit)." in
+  Arg.(value & opt (some int) None & info [ "times" ] ~docv:"R" ~doc)
+
+let fingerprint_of_scheme ?length ?times ~master scheme =
+  match Fingerprint.of_local ?length ?times ~master scheme with
+  | Ok fp -> fp
+  | Error e -> failwith e
+
+let fingerprint_cmd =
+  let run file query params results rho epsilon seed jobs stats trace master
+      length times recipient out =
+    handle @@ fun () ->
+    set_jobs jobs;
+    with_obs ~stats ~trace @@ fun () ->
+    let ws, _, scheme =
+      prepare_scheme file ~query ~params ~results ~rho ~epsilon ~seed
+    in
+    let fp = fingerprint_of_scheme ?length ?times ~master scheme in
+    let marked = Fingerprint.mark_for fp recipient ws.Weighted.weights in
+    Textio.save out { ws with Weighted.weights = marked };
+    Printf.printf
+      "fingerprinted for %s: %d-bit codeword x %d, digest %x, into %s\n"
+      recipient (Fingerprint.length fp) (Fingerprint.times fp)
+      (Fingerprint.digest marked) out
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let recipient =
+    let doc = "Recipient id the copy is fingerprinted for." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "recipient" ] ~docv:"RID" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "fingerprint"
+       ~doc:
+         "Generate one recipient's fingerprinted copy: the recipient's \
+          key derives from the master key, its codeword is embedded \
+          through the same query-preserving scheme.")
+    Term.(
+      const run $ file $ query_term $ params_term $ results_term $ rho_term
+      $ epsilon_term $ seed_term $ jobs_term $ stats_term $ trace_term
+      $ master_term $ fp_length_term $ fp_times_term $ recipient $ out_term)
+
+let trace_cmd =
+  let run original suspect query params results rho epsilon seed jobs stats
+      trace master length times count prefix alpha =
+    handle @@ fun () ->
+    set_jobs jobs;
+    with_obs ~stats ~trace @@ fun () ->
+    let ws, _, scheme =
+      prepare_scheme original ~query ~params ~results ~rho ~epsilon ~seed
+    in
+    let fp = fingerprint_of_scheme ?length ?times ~master scheme in
+    let sus = Textio.load suspect in
+    let rep =
+      Fingerprint.trace ~alpha fp ~original:ws.Weighted.weights
+        ~suspect:sus.Weighted.weights
+        (List.init count (fun i -> prefix ^ string_of_int i))
+    in
+    Printf.printf
+      "candidates %d, decided bits %d/%d, threshold %.3g (Sidak, alpha %g)\n"
+      rep.Fingerprint.candidates rep.Fingerprint.decided
+      (Fingerprint.length fp) rep.Fingerprint.threshold
+      rep.Fingerprint.alpha;
+    (match rep.Fingerprint.accused with
+    | [] -> print_endline "no recipient accused"
+    | accused ->
+        List.iter
+          (fun (s : Fingerprint.score) ->
+            if s.Fingerprint.accused then
+              Printf.printf "ACCUSED %s: %d/%d bits agree, p = %.3g\n"
+                s.Fingerprint.rid s.Fingerprint.agreements
+                s.Fingerprint.trials s.Fingerprint.pvalue)
+          rep.Fingerprint.scores;
+        Printf.printf "accused: %s\n" (String.concat ", " accused))
+  in
+  let original =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"ORIGINAL")
+  in
+  let suspect =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"SUSPECT")
+  in
+  let count =
+    let doc = "Number of candidate recipients (ids prefix0..prefixN-1)." in
+    Arg.(value & opt int 1000 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let prefix =
+    let doc = "Recipient id prefix." in
+    Arg.(value & opt string "r" & info [ "prefix" ] ~docv:"P" ~doc)
+  in
+  let alpha =
+    let doc =
+      "Family-wise false-accusation level; the per-candidate threshold is \
+       Sidak-corrected over all candidates."
+    in
+    Arg.(value & opt float 0.01 & info [ "alpha" ] ~docv:"A" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Score every candidate recipient against a suspect copy and \
+          accuse below the multiple-testing-corrected threshold.")
+    Term.(
+      const run $ original $ suspect $ query_term $ params_term
+      $ results_term $ rho_term $ epsilon_term $ seed_term $ jobs_term
+      $ stats_term $ trace_term $ master_term $ fp_length_term
+      $ fp_times_term $ count $ prefix $ alpha)
+
+(* ------------------------------------------------------------------ *)
 (* audit / repair — tamper localization and detect-and-recover *)
 
 let key_term =
@@ -897,8 +1018,9 @@ let main =
     [
       info_cmd; mark_cmd; detect_cmd; update_cmd; multi_mark_cmd;
       multi_detect_cmd; capacity_cmd; vc_cmd; perturb_cmd; attack_cmd;
-      audit_cmd; repair_cmd; serve_cmd; gen_travel_cmd;
-      gen_school_cmd; gen_biblio_cmd; xml_mark_cmd; xml_detect_cmd;
+      fingerprint_cmd; trace_cmd; audit_cmd; repair_cmd; serve_cmd;
+      gen_travel_cmd; gen_school_cmd; gen_biblio_cmd; xml_mark_cmd;
+      xml_detect_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -95,6 +95,7 @@ module Robust = Wm_watermark.Robust
 module Survivable = Wm_watermark.Survivable
 module Recovery = Wm_watermark.Recovery
 module Attack_suite = Wm_watermark.Attack_suite
+module Fingerprint = Wm_watermark.Fingerprint
 module Capacity = Wm_watermark.Capacity
 module Incremental = Wm_watermark.Incremental
 module Agrawal_kiernan = Wm_watermark.Agrawal_kiernan

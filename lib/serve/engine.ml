@@ -30,7 +30,7 @@ let op_names =
   [
     "ping"; "stats"; "shutdown"; "info"; "put"; "gen"; "load"; "snapshot";
     "prepare"; "mark"; "detect"; "setw"; "update"; "protect"; "audit";
-    "repair"; "batch"; "invalid";
+    "repair"; "fingerprint"; "trace"; "batch"; "invalid";
   ]
 
 let histos =
@@ -463,6 +463,81 @@ let rec dispatch t ~jobs (req : Protocol.req) =
             else Ok (ds, fields @ [ ("published", "0") ])
       in
       (match result with Error m -> err m | Ok fields -> ok "repair" fields)
+  | Fingerprint { id; master; length; times; prefix; count } -> (
+      with_dataset t id @@ fun ds ->
+      with_prep ds @@ fun prep ->
+      match Fingerprint.of_local ?length ?times ~master prep.scheme with
+      | Error m -> err m
+      | Ok fp ->
+          let w = ds.base.Weighted.weights in
+          (* one pool task per copy; the response ships digests, not
+             copies — combined digest first, per-recipient lines in the
+             body, all independent of the job count *)
+          let lines =
+            Pool.map_list ?jobs
+              (fun i ->
+                let rid = prefix ^ itoa i in
+                Printf.sprintf "%s %x" rid
+                  (Fingerprint.digest (Fingerprint.mark_for fp rid w)))
+              (List.init count Fun.id)
+          in
+          let combined =
+            List.fold_left
+              (fun h line ->
+                String.fold_left
+                  (fun h c -> (h lxor Char.code c) * 0x100000001B3)
+                  h line)
+              0 lines
+            land max_int
+          in
+          ok "fingerprint"
+            [
+              ("count", itoa count);
+              ("length", itoa (Fingerprint.length fp));
+              ("times", itoa (Fingerprint.times fp));
+              ("digest", Printf.sprintf "%x" combined);
+            ]
+            ~body:(String.concat "\n" lines))
+  | Trace { id; master; length; times; prefix; count; alpha; suspect } -> (
+      with_dataset t id @@ fun ds ->
+      with_prep ds @@ fun prep ->
+      match Fingerprint.of_local ?length ?times ~master prep.scheme with
+      | Error m -> err m
+      | Ok fp -> (
+          let suspect =
+            match suspect with
+            | None -> Ok ds.cur
+            | Some body -> (
+                match Textio.of_string_result body with
+                | Error e -> Error (Textio.error_to_string e)
+                | Ok ws -> Ok ws.Weighted.weights)
+          in
+          match suspect with
+          | Error m -> err m
+          | Ok suspect ->
+              let rep =
+                Fingerprint.trace ?jobs ~alpha fp
+                  ~original:ds.base.Weighted.weights ~suspect
+                  (List.init count (fun i -> prefix ^ itoa i))
+              in
+              let score_line (s : Fingerprint.score) =
+                Printf.sprintf "%s %d %d %.6g %d" s.Fingerprint.rid
+                  s.Fingerprint.agreements s.Fingerprint.trials
+                  s.Fingerprint.pvalue
+                  (if s.Fingerprint.accused then 1 else 0)
+              in
+              ok "trace"
+                [
+                  ("candidates", itoa rep.Fingerprint.candidates);
+                  ("alpha", Printf.sprintf "%.6g" rep.Fingerprint.alpha);
+                  ("threshold", Printf.sprintf "%.6g" rep.Fingerprint.threshold);
+                  ("decided", itoa rep.Fingerprint.decided);
+                  ("naccused", itoa (List.length rep.Fingerprint.accused));
+                  ("accused", String.concat "," rep.Fingerprint.accused);
+                ]
+                ~body:
+                  (String.concat "\n"
+                     (List.map score_line rep.Fingerprint.scores))))
   | Batch subs ->
       Obs.incr c_batches;
       let resps = run_batch t subs in

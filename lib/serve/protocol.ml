@@ -39,6 +39,24 @@ type req =
   | Protect of { id : string; key : int; redundancy : int; group_size : int }
   | Audit of string
   | Repair of string
+  | Fingerprint of {
+      id : string;
+      master : int;
+      length : int option;
+      times : int option;
+      prefix : string;
+      count : int;
+    }
+  | Trace of {
+      id : string;
+      master : int;
+      length : int option;
+      times : int option;
+      prefix : string;
+      count : int;
+      alpha : float;
+      suspect : string option;
+    }
   | Batch of string list
 
 let op_name = function
@@ -58,6 +76,8 @@ let op_name = function
   | Protect _ -> "protect"
   | Audit _ -> "audit"
   | Repair _ -> "repair"
+  | Fingerprint _ -> "fingerprint"
+  | Trace _ -> "trace"
   | Batch _ -> "batch"
 
 (* Read-only requests may be batched onto the pool against the last
@@ -65,7 +85,8 @@ let op_name = function
    serializes.  [Batch] is classified by its contents at scheduling
    time, not here. *)
 let is_read = function
-  | Ping | Stats | Info _ | Detect _ | Audit _ -> true
+  | Ping | Stats | Info _ | Detect _ | Audit _ | Fingerprint _ | Trace _ ->
+      true
   | Shutdown | Put _ | Gen _ | Load _ | Snapshot _ | Prepare _ | Mark _
   | Setw _ | Update _ | Protect _ | Repair _ | Batch _ ->
       false
@@ -111,6 +132,18 @@ let encode_request = function
       Printf.sprintf "protect %s %d %d %d" id key redundancy group_size
   | Audit id -> "audit " ^ id
   | Repair id -> "repair " ^ id
+  | Fingerprint { id; master; length; times; prefix; count } ->
+      Printf.sprintf "fingerprint %s %d %s %s %s %d" id master
+        (match length with None -> "-" | Some l -> string_of_int l)
+        (match times with None -> "-" | Some r -> string_of_int r)
+        prefix count
+  | Trace { id; master; length; times; prefix; count; alpha; suspect } ->
+      with_body
+        (Printf.sprintf "trace %s %d %s %s %s %d %g" id master
+           (match length with None -> "-" | Some l -> string_of_int l)
+           (match times with None -> "-" | Some r -> string_of_int r)
+           prefix count alpha)
+        (match suspect with None -> "" | Some s -> s)
   | Batch subs ->
       with_body
         (Printf.sprintf "batch %d" (List.length subs))
@@ -149,6 +182,10 @@ let bool_arg what s =
 let id_arg s =
   if Store.valid_id s then Ok s
   else Error (Printf.sprintf "invalid dataset id %S" s)
+
+(* "-" means "use the scheme's default" (the prepare-rho convention). *)
+let opt_int_arg what s =
+  if s = "-" then Ok None else Result.map Option.some (int_arg what s)
 
 let csv s = List.filter (fun x -> x <> "") (String.split_on_char ',' s)
 
@@ -269,6 +306,37 @@ let decode_request payload =
       | "repair", [ id ] ->
           let* id = id_arg id in
           Ok (Repair id)
+      | "fingerprint", [ id; master; length; times; prefix; count ] ->
+          let* id = id_arg id in
+          let* master = int_arg "fingerprint master" master in
+          let* length = opt_int_arg "fingerprint length" length in
+          let* times = opt_int_arg "fingerprint times" times in
+          let* count = int_arg "fingerprint count" count in
+          if count <= 0 then Error "fingerprint count: must be positive"
+          else Ok (Fingerprint { id; master; length; times; prefix; count })
+      | "trace", [ id; master; length; times; prefix; count; alpha ] ->
+          let* id = id_arg id in
+          let* master = int_arg "trace master" master in
+          let* length = opt_int_arg "trace length" length in
+          let* times = opt_int_arg "trace times" times in
+          let* count = int_arg "trace count" count in
+          let* alpha = float_arg "trace alpha" alpha in
+          if count <= 0 then Error "trace count: must be positive"
+          else if not (alpha > 0. && alpha <= 1.) then
+            Error "trace alpha: must be in (0, 1]"
+          else
+            Ok
+              (Trace
+                 {
+                   id;
+                   master;
+                   length;
+                   times;
+                   prefix;
+                   count;
+                   alpha;
+                   suspect = (if body = "" then None else Some body);
+                 })
       | "batch", [ n ] ->
           let* n = int_arg "batch count" n in
           let* subs = decode_subframes body 0 [] in

@@ -41,6 +41,30 @@ type req =
   | Protect of { id : string; key : int; redundancy : int; group_size : int }
   | Audit of string
   | Repair of string
+  | Fingerprint of {
+      id : string;
+      master : int;
+      length : int option;  (** codeword bits; [None] = scheme default *)
+      times : int option;  (** repetitions; [None] = scheme default *)
+      prefix : string;
+      count : int;
+    }
+      (** generate [count] fingerprinted copies for recipients
+          [prefix ^ i], fanned onto the pool; the response body lists one
+          "rid hex-digest" line per copy plus a combined digest field, so
+          batch generation is verifiable without shipping the copies *)
+  | Trace of {
+      id : string;
+      master : int;
+      length : int option;
+      times : int option;
+      prefix : string;
+      count : int;  (** candidate recipients [prefix ^ 0 .. prefix ^ (count-1)] *)
+      alpha : float;  (** family-wise error level before correction *)
+      suspect : string option;
+          (** Textio structure text of the suspect copy as the request
+              body; [None] traces the dataset's current weights *)
+    }
   | Batch of string list
       (** raw sub-request payloads, framed back-to-back in the body *)
 

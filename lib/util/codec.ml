@@ -83,3 +83,19 @@ let majority_decode ~times v =
     Bitvec.set out i (2 * !ones > times)
   done;
   out
+
+let majority_decode_opt ~times v =
+  let n = Bitvec.length v in
+  if times <= 0 then
+    invalid_arg "Codec.majority_decode_opt: times must be positive";
+  if n mod times <> 0 then
+    invalid_arg "Codec.majority_decode_opt: length not a multiple of times";
+  let l = n / times in
+  Array.init l (fun i ->
+      let ones = ref 0 in
+      for t = 0 to times - 1 do
+        if Bitvec.get v ((t * l) + i) then incr ones
+      done;
+      if 2 * !ones > times then Some true
+      else if 2 * !ones < times then Some false
+      else None)

@@ -41,3 +41,11 @@ val majority_decode : times:int -> Bitvec.t -> Bitvec.t
     multiple of [times].  With an even [times], a position that splits
     exactly [times/2] vs [times/2] is a tie and decodes to [false]; use
     odd redundancies when that bias matters. *)
+
+val majority_decode_opt : times:int -> Bitvec.t -> bool option array
+(** Tie-explicit {!majority_decode}: position [i] is [Some b] on a strict
+    majority for [b] and [None] on an exact [times/2] split.  Collusion
+    voting (k copies spliced into one) produces even splits constantly;
+    callers that score agreement must see the tie as an abstention, not a
+    silent [false] — {!Wm_watermark.Fingerprint} decodes through this.
+    Same [Invalid_argument] conditions as {!majority_decode}. *)

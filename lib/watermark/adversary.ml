@@ -75,6 +75,63 @@ let describe = function
 let global_budget_used qs ~before ~after = Distortion.global qs before after
 
 (* ------------------------------------------------------------------ *)
+(* Collusion: k recipients pool their differently-fingerprinted copies. *)
+
+type collusion = Coalition_majority | Coalition_mix | Coalition_interleave
+
+(* Every copy in a coalition cell gets its own generator, derived from
+   the cell seed and the copy's index.  Reusing one stream (or one seed)
+   across the k copies would correlate their perturbations — identical
+   noise on every copy cancels in weight differences and understates the
+   attack; the regression test in test_fingerprint.ml pins both the
+   derivation and the draw order. *)
+let copy_prng ~cell_seed ~copy =
+  if copy < 0 then invalid_arg "Adversary.copy_prng: copy must be >= 0";
+  Prng.create ((cell_seed * 1_000_003) + ((copy + 1) * 7919))
+
+let apply_collusion g c ~active copies =
+  let k = Array.length copies in
+  if k = 0 then invalid_arg "Adversary.apply_collusion: empty coalition";
+  match c with
+  | Coalition_majority ->
+      (* Per-tuple lower median (the lower of the two middles when k is
+         even) — deterministic, no draws.  Where the coalition's marks
+         disagree on a pair, the median collapses toward the majority
+         orientation; an even split yields equal endpoints and a silent
+         carrier, which tie-explicit scoring treats as an abstention. *)
+      List.fold_left
+        (fun w t ->
+          let vs = Array.map (fun copy -> Weighted.get copy t) copies in
+          Array.sort compare vs;
+          Weighted.set w t vs.((k - 1) / 2))
+        copies.(0) active
+  | Coalition_mix ->
+      (* Per-tuple uniform donor copy: pair endpoints drawn from
+         different copies decode as whichever donor pair survives, so
+         carriers vote for a random coalition member. *)
+      List.fold_left
+        (fun w t -> Weighted.set w t (Weighted.get copies.(Prng.int g k) t))
+        copies.(0) active
+  | Coalition_interleave ->
+      (* Round-robin over a randomly permuted, randomly phased copy
+         order: exactly balanced donor shares, unlike the iid mix. *)
+      let perm = Array.init k Fun.id in
+      Prng.shuffle g perm;
+      let offset = Prng.int g k in
+      let pos = ref 0 in
+      List.fold_left
+        (fun w t ->
+          let donor = perm.((!pos + offset) mod k) in
+          incr pos;
+          Weighted.set w t (Weighted.get copies.(donor) t))
+        copies.(0) active
+
+let describe_collusion = function
+  | Coalition_majority -> "coalition majority vote"
+  | Coalition_mix -> "coalition mix-and-match"
+  | Coalition_interleave -> "coalition random interleave"
+
+(* ------------------------------------------------------------------ *)
 (* Structural attacks: the suspect is no longer a weights-only copy. *)
 
 type structural =

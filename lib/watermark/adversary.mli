@@ -58,6 +58,46 @@ val global_budget_used :
 (** The d' the attack actually spent (max query-weight change) — reported
     next to detection rates in experiment E10. *)
 
+(** {1 Collusion attacks}
+
+    A coalition of k recipients, each holding a copy fingerprinted with
+    its own codeword ({!Fingerprint}), combines the copies into one
+    suspect that implicates no single member.  All three keep every
+    weight within the set of values some coalition copy holds, so the
+    distortion budget never exceeds the marking amplitude. *)
+
+type collusion =
+  | Coalition_majority
+      (** Per-tuple lower median of the k copies: carriers where the
+          coalition's codewords disagree collapse to the majority
+          orientation (an even split goes silent). *)
+  | Coalition_mix
+      (** Per-tuple uniform donor copy — iid mix-and-match across the
+          whole coalition. *)
+  | Coalition_interleave
+      (** Round-robin through a randomly permuted, randomly phased copy
+          order: every copy donates an exactly balanced share. *)
+
+val copy_prng : cell_seed:int -> copy:int -> Prng.t
+(** The generator for per-copy perturbations inside one coalition cell,
+    derived from the cell seed and the copy index ([>= 0]).  Distinct
+    copies get distinct, independent streams — one shared stream would
+    correlate the copies' noise, which cancels in weight differences and
+    understates the attack.  Deterministic: equal (seed, copy) give equal
+    streams. *)
+
+val apply_collusion :
+  Prng.t -> collusion -> active:Tuple.t list -> Weighted.t array ->
+  Weighted.t
+(** Combine the coalition's copies over the active tuples; off-active
+    tuples keep the first copy's values.  Deterministic in the generator
+    (draw order: one draw per active tuple for [Coalition_mix]; a
+    shuffle plus one offset draw for [Coalition_interleave]; none for
+    [Coalition_majority]).  Raises [Invalid_argument] on an empty
+    coalition. *)
+
+val describe_collusion : collusion -> string
+
 (** {1 Structural attacks on relational instances}
 
     All four renumber or resize the universe; surviving elements keep

@@ -72,6 +72,7 @@ type outcome = {
   bit_errors : int;
   ber : float;
   pvalue : float;
+  accused : bool;
   distortion : int option;
   recovered : bool;
   naive_recovered : bool;
@@ -180,6 +181,13 @@ let run ?jobs ?(options = Local_scheme.default_options) ?(seed = 0xA77AC)
                 grid)
             usable
         in
+        (* Every cell scores one ownership hypothesis, so the grid is a
+           family of simultaneous tests: accuse only below the
+           Šidák-corrected threshold over the FULL grid (computed before
+           the --only filter, so a replayed cell keeps its verdict). *)
+        let accuse_threshold =
+          Detector.sidak ~alpha:0.01 ~tests:(List.length cells)
+        in
         let cells =
           match only with
           | None -> cells
@@ -278,6 +286,7 @@ let run ?jobs ?(options = Local_scheme.default_options) ?(seed = 0xA77AC)
           in
           let rep_bit_errors = Codec.hamming message rv_rep.Survivable.message in
           let findings = rep_report.Recovery.findings in
+          let pvalue = Survivable.match_pvalue ~expected:message rv in
           {
             attack = describe_spec spec;
             grid_index = index;
@@ -290,7 +299,8 @@ let run ?jobs ?(options = Local_scheme.default_options) ?(seed = 0xA77AC)
             erasure_rate = float_of_int erased /. float_of_int (max 1 carriers);
             bit_errors;
             ber = float_of_int bit_errors /. float_of_int message_bits;
-            pvalue = Survivable.match_pvalue ~expected:message rv;
+            pvalue;
+            accused = pvalue <= accuse_threshold;
             distortion;
             recovered = Bitvec.equal message rv.Survivable.message;
             naive_recovered = Bitvec.equal message naive;
@@ -332,7 +342,7 @@ let run ?jobs ?(options = Local_scheme.default_options) ?(seed = 0xA77AC)
       end
 
 let csv_header =
-  "attack,grid_index,cell_seed,params,redundancy,bits,carriers,erased,erasure_rate,bit_errors,ber,pvalue,distortion,recovered,naive_recovered,type_drift,rec_recovered,recovered_bits,false_repairs,groups_repaired,groups_unrepairable,groups_distorted,groups_erased"
+  "attack,grid_index,cell_seed,params,redundancy,bits,carriers,erased,erasure_rate,bit_errors,ber,pvalue,accused,distortion,recovered,naive_recovered,type_drift,rec_recovered,recovered_bits,false_repairs,groups_repaired,groups_unrepairable,groups_distorted,groups_erased"
 
 let to_csv r =
   let buf = Buffer.create 1024 in
@@ -342,9 +352,10 @@ let to_csv r =
     (fun o ->
       Buffer.add_string buf
         (Printf.sprintf
-           "%S,%d,%d,%S,%d,%d,%d,%d,%.4f,%d,%.4f,%.3g,%s,%b,%b,%s,%b,%d,%d,%d,%d,%d,%d\n"
+           "%S,%d,%d,%S,%d,%d,%d,%d,%.4f,%d,%.4f,%.3g,%b,%s,%b,%b,%s,%b,%d,%d,%d,%d,%d,%d\n"
            o.attack o.grid_index o.cell_seed o.params o.redundancy o.bits
            o.carriers o.erased o.erasure_rate o.bit_errors o.ber o.pvalue
+           o.accused
            (match o.distortion with Some d -> string_of_int d | None -> "")
            o.recovered o.naive_recovered
            (match o.type_drift with Some b -> string_of_bool b | None -> "")
@@ -366,6 +377,7 @@ let outcome_to_json o =
         ("bit_errors", Int o.bit_errors);
         ("ber", Float o.ber);
         ("pvalue", Float o.pvalue);
+        ("accused", Bool o.accused);
         ( "distortion",
           match o.distortion with Some d -> Int d | None -> Null );
         ("recovered", Bool o.recovered);
@@ -400,14 +412,15 @@ let render r =
   let t =
     Texttab.create
       [
-        "attack"; "R"; "erased"; "BER"; "p-value"; "d'"; "survivable";
-        "aligned"; "types"; "repaired"; "+bits"; "false";
+        "attack"; "R"; "erased"; "BER"; "p-value"; "verdict"; "d'";
+        "survivable"; "aligned"; "types"; "repaired"; "+bits"; "false";
       ]
   in
   List.iter
     (fun o ->
-      Texttab.addf t "%s|%d|%d/%d|%.2f|%.2g|%s|%s|%s|%s|%s|%d|%d" o.attack
+      Texttab.addf t "%s|%d|%d/%d|%.2f|%.2g|%s|%s|%s|%s|%s|%s|%d|%d" o.attack
         o.redundancy o.erased o.carriers o.ber o.pvalue
+        (if o.accused then "accused" else "-")
         (match o.distortion with Some d -> string_of_int d | None -> "-")
         (if o.recovered then "recovered" else "LOST")
         (if o.naive_recovered then "recovered" else "LOST")

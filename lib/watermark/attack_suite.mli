@@ -61,6 +61,13 @@ type outcome = {
   bit_errors : int;  (** Hamming distance decoded vs embedded *)
   ber : float;
   pvalue : float;  (** id-match p-value over surviving carriers *)
+  accused : bool;
+      (** [pvalue] at or below the {!Detector.sidak}-corrected threshold
+          (alpha 0.01) over the {e full} grid: every cell scores one
+          ownership hypothesis, so the grid is a family of simultaneous
+          tests and the uncorrected per-cell alpha would overstate the
+          evidence.  Computed before any [only] filtering, so replayed
+          cells keep their verdicts. *)
   distortion : int option;
       (** global budget d' spent, for weight-level attacks *)
   recovered : bool;  (** survivable detector got the exact message *)

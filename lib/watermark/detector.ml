@@ -180,6 +180,25 @@ let match_pvalue ~expected verdict =
   done;
   binomial_tail ~trials:!trials ~successes:!agree
 
+(* Multiple-testing corrections.  A sweep that scores n hypotheses at
+   per-test level alpha accuses a wrong one with probability up to
+   n * alpha; tracing thousands of candidate recipients, or judging every
+   cell of an attack grid, must shrink the per-test threshold to keep the
+   family-wise error at alpha. *)
+
+let check_correction who ~alpha ~tests =
+  if not (alpha > 0. && alpha <= 1.) then
+    invalid_arg (who ^ ": alpha must be in (0, 1]");
+  if tests < 1 then invalid_arg (who ^ ": tests must be >= 1")
+
+let bonferroni ~alpha ~tests =
+  check_correction "Detector.bonferroni" ~alpha ~tests;
+  alpha /. float_of_int tests
+
+let sidak ~alpha ~tests =
+  check_correction "Detector.sidak" ~alpha ~tests;
+  1. -. ((1. -. alpha) ** (1. /. float_of_int tests))
+
 let is_marked ?(alpha = 0.01) verdict =
   let read = verdict.strong + verdict.weak + verdict.silent in
   (* Null hypothesis: no mark.  A pair shows the exact antisymmetric +-2

@@ -109,6 +109,19 @@ val match_pvalue : expected:Bitvec.t -> verdict -> float
     subset attack cannot manufacture disagreement by deleting carriers.
     Small value = confident accusation. *)
 
+val bonferroni : alpha:float -> tests:int -> float
+(** [alpha / tests] — the per-test threshold that keeps the family-wise
+    false-accusation probability of [tests] simultaneous hypothesis tests
+    at most [alpha].  Raises [Invalid_argument] unless [0 < alpha <= 1]
+    and [tests >= 1]. *)
+
+val sidak : alpha:float -> tests:int -> float
+(** [1 - (1 - alpha)^(1/tests)] — the exact correction under independent
+    tests, slightly less conservative than {!bonferroni} (equal at
+    [tests = 1]).  This is what {!Wm_watermark.Fingerprint.trace} and the
+    attack grid's per-cell verdicts apply before accusing.  Same
+    [Invalid_argument] conditions as {!bonferroni}. *)
+
 val is_marked : ?alpha:float -> verdict -> bool
 (** Does the carrier signal itself (ignoring the message value) reject the
     no-mark null at level [alpha] (default 0.01)?  Tests the {e strong}

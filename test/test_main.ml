@@ -15,6 +15,7 @@ let () =
       ("xml", Test_xml.suite);
       ("vc", Test_vc.suite);
       ("watermark", Test_watermark.suite);
+      ("fingerprint", Test_fingerprint.suite);
       ("survivable", Test_survivable.suite);
       ("recovery", Test_recovery.suite);
       ("fuzz", Test_fuzz.suite);

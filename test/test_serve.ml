@@ -64,6 +64,15 @@ let sample_requests =
     Protocol.Protect { id = "d1"; key = 7; redundancy = 2; group_size = 4 };
     Protocol.Audit "d1";
     Protocol.Repair "d1";
+    Protocol.Fingerprint
+      { id = "d1"; master = 99; length = Some 16; times = None; prefix = "r";
+        count = 4 };
+    Protocol.Trace
+      { id = "d1"; master = 99; length = None; times = Some 3; prefix = "u";
+        count = 10; alpha = 0.05; suspect = Some "schema E/2\nsize 3\n" };
+    Protocol.Trace
+      { id = "d1"; master = 1; length = None; times = None; prefix = "r";
+        count = 2; alpha = 0.01; suspect = None };
     Protocol.Batch [ "ping"; "info d1" ];
   ]
 
@@ -102,6 +111,10 @@ let test_request_malformed () =
       "detect d 5 yes";
       "setw d 5";
       "protect d 1 0 4";
+      "fingerprint d 1 - - r 0";
+      "fingerprint d x - - r 4";
+      "trace d 1 - - r 5 1.5";
+      "trace d 1 - - r 0 0.01";
       "batch 2\nping";
       (* header/body count mismatch *)
     ]
@@ -217,6 +230,65 @@ let test_update_reprepares () =
   (* the dataset is still serviceable after the update *)
   let r = send_ok engine (Protocol.Detect { id = "d"; length = 1; shard = false }) in
   check bool "detect still answers" true (String.length (fget r "message") = 1)
+
+(* Fingerprint generation fans onto the pool; responses must be
+   byte-identical at every job count, and tracing a planted copy through
+   the endpoint must accuse exactly the planted recipient. *)
+let test_fingerprint_trace_endpoints () =
+  let e1 = setup_engine ~jobs:1 ~n:300 ~seed:6 () in
+  let e2 = setup_engine ~jobs:2 ~n:300 ~seed:6 () in
+  let raw e req = Engine.handle e (Protocol.encode_request req) in
+  let fpreq =
+    Protocol.Fingerprint
+      { id = "d"; master = 7; length = Some 64; times = None; prefix = "r";
+        count = 20 }
+  in
+  check string "fingerprint bytes identical across job counts" (raw e1 fpreq)
+    (raw e2 fpreq);
+  let r = send_ok e1 fpreq in
+  check string "count" "20" (fget r "count");
+  check int "one digest line per copy" 20
+    (List.length (String.split_on_char '\n' (Option.get r.Protocol.body)));
+  (* rebuild the engine's scheme locally (same options, same identity
+     query system) to plant a copy for r5 *)
+  let ws = rings 300 6 in
+  let qs =
+    Query_system.of_custom
+      ~params:(List.init (Structure.size ws.Weighted.graph) Tuple.singleton)
+      ~result_set:(fun p -> Tuple.Set.singleton p)
+      ~weight_arity:1
+  in
+  let q = Parser.query_of_string ~params:[ "u" ] ~results:[ "v" ] "u = v" in
+  let options =
+    { Local_scheme.default_options with seed = 11; rho = Some 1; epsilon = 1.0 }
+  in
+  let scheme =
+    match Local_scheme.prepare ~options ~qs ws q with
+    | Ok s -> s
+    | Error m -> Alcotest.fail m
+  in
+  let fp =
+    match Fingerprint.of_local ~length:64 ~master:7 scheme with
+    | Ok f -> f
+    | Error m -> Alcotest.fail m
+  in
+  let planted =
+    Textio.to_string
+      { ws with
+        Weighted.weights = Fingerprint.mark_for fp "r5" ws.Weighted.weights }
+  in
+  let treq suspect =
+    Protocol.Trace
+      { id = "d"; master = 7; length = Some 64; times = None; prefix = "r";
+        count = 20; alpha = 0.01; suspect }
+  in
+  let r = send_ok e1 (treq (Some planted)) in
+  check string "accused the planted recipient" "r5" (fget r "accused");
+  check string "trace bytes identical across job counts"
+    (raw e1 (treq (Some planted)))
+    (raw e2 (treq (Some planted)));
+  let r = send_ok e1 (treq None) in
+  check string "clean current copy accuses nobody" "" (fget r "accused")
 
 let test_snapshot_load_roundtrip () =
   let dir = Filename.temp_file "qpwm_store" "" in
@@ -397,6 +469,7 @@ let suite =
     ("mark/detect cycle", `Quick, test_mark_detect_cycle);
     ("setw propagates the mark (Thm 7)", `Quick, test_setw_propagates_mark);
     ("structural update re-prepares", `Quick, test_update_reprepares);
+    ("fingerprint/trace endpoints", `Quick, test_fingerprint_trace_endpoints);
     ("snapshot/load round-trip", `Quick, test_snapshot_load_roundtrip);
     ("schedule deterministic across jobs", `Quick, test_schedule_deterministic);
     ("sharded index = unsharded", `Quick, test_shard_index_equals_unsharded);
