@@ -2,6 +2,13 @@ module Iset = Set.Make (Int)
 
 type t = { bags : int list array; edges : (int * int) list }
 
+(* The elimination engine lives in Wm_relational.Tdecomp (the
+   neighborhood indexer's bounded-width fast path runs it on per-sphere
+   sub-Gaifman graphs and cannot depend on this library); this module
+   keeps the structure-level API and the exact validity checker. *)
+let of_decomp (d : Tdecomp.t) =
+  { bags = Array.map Array.to_list d.Tdecomp.bags; edges = d.Tdecomp.edges }
+
 let width t =
   Array.fold_left (fun acc bag -> max acc (List.length bag - 1)) 0 t.bags
 
@@ -9,9 +16,12 @@ let validate g t =
   let n = Structure.size g in
   let nbags = Array.length t.bags in
   let in_bag = Array.make n [] in
-  Array.iteri
-    (fun b bag -> List.iter (fun v -> in_bag.(v) <- b :: in_bag.(v)) bag)
-    t.bags;
+  (try
+     Array.iteri
+       (fun b bag -> List.iter (fun v -> in_bag.(v) <- b :: in_bag.(v)) bag)
+       t.bags
+   with Invalid_argument _ ->
+     invalid_arg "Treewidth.validate: bag element outside the universe");
   (* 1. Every element occurs. *)
   let missing =
     Structure.fold_universe
@@ -101,47 +111,14 @@ let validate g t =
   end
 
 let by_min_degree g =
-  let n = Structure.size g in
-  let gf = Gaifman.of_structure g in
-  let adj = Array.init n (fun v -> Iset.of_list (Gaifman.neighbors gf v)) in
-  let alive = Array.make n true in
-  let order = Array.make n (-1) in
-  (* elimination index per vertex *)
-  let bags = Array.make n [] in
-  for step = 0 to n - 1 do
-    (* minimum fill-degree alive vertex *)
-    let best = ref (-1) in
-    for v = 0 to n - 1 do
-      if alive.(v)
-         && (!best < 0 || Iset.cardinal adj.(v) < Iset.cardinal adj.(!best))
-      then best := v
-    done;
-    let v = !best in
-    order.(v) <- step;
-    bags.(step) <- v :: Iset.elements adj.(v);
-    (* make the neighborhood a clique, drop v *)
-    Iset.iter
-      (fun a ->
-        Iset.iter
-          (fun b -> if a <> b then adj.(a) <- Iset.add b adj.(a))
-          adj.(v);
-        adj.(a) <- Iset.remove v adj.(a))
-      adj.(v);
-    alive.(v) <- false
-  done;
-  (* Bag of elimination step s attaches to the step of the earliest-
-     eliminated remaining member of its bag; last bags of components attach
-     to the final bag to keep one tree. *)
-  let edges = ref [] in
-  for s = 0 to n - 1 do
-    match bags.(s) with
-    | _v :: rest when rest <> [] ->
-        let next =
-          List.fold_left (fun acc u -> min acc order.(u)) max_int rest
-        in
-        edges := (s, next) :: !edges
-    | _ -> if s < n - 1 then edges := (s, n - 1) :: !edges
-  done;
-  { bags; edges = !edges }
+  of_decomp
+    (Tdecomp.eliminate ~heuristic:Tdecomp.Min_degree (Gaifman.of_structure g))
+
+let by_min_fill g =
+  of_decomp
+    (Tdecomp.eliminate ~heuristic:Tdecomp.Min_fill (Gaifman.of_structure g))
+
+let of_sphere ?(heuristic = Tdecomp.Min_degree) gf =
+  of_decomp (Tdecomp.eliminate ~heuristic gf)
 
 let heuristic_width g = width (by_min_degree g)

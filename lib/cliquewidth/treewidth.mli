@@ -27,9 +27,23 @@ val validate : Structure.t -> t -> (unit, string) result
 val by_min_degree : Structure.t -> t
 (** The min-degree elimination heuristic: repeatedly eliminate a
     minimum-degree vertex, turning its neighborhood into a clique; bags are
-    the elimination cliques, glued in elimination order.  Always valid
-    (checked by the tests); the width is an upper bound on the true
-    tree-width, exact on chordal graphs. *)
+    the elimination cliques, glued in elimination order (one tree, even on
+    disconnected structures).  Always valid (checked by the tests); the
+    width is an upper bound on the true tree-width, exact on chordal
+    graphs.  Delegates to {!Tdecomp.eliminate}, the engine shared with
+    the neighborhood indexer's bounded-width fast path. *)
+
+val by_min_fill : Structure.t -> t
+(** The min-fill elimination heuristic: eliminate the vertex whose
+    neighborhood needs the fewest fill edges to become a clique (degree,
+    then lowest id, as tie-breaks).  Often tighter than min-degree on
+    near-chordal graphs; same validity guarantees. *)
+
+val of_sphere : ?heuristic:Tdecomp.heuristic -> Gaifman.t -> t
+(** Decompose a caller-provided (sub-)Gaifman graph — e.g. the CSR
+    sphere graph the neighborhood fast-path context already built —
+    without re-deriving adjacency from a structure.  [heuristic]
+    defaults to [Min_degree]. *)
 
 val heuristic_width : Structure.t -> int
 (** [width (by_min_degree g)]. *)

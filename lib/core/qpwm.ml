@@ -50,6 +50,7 @@ module Structure = Wm_relational.Structure
 module Weighted = Wm_relational.Weighted
 module Weighted_ref = Wm_relational.Weighted_ref
 module Gaifman = Wm_relational.Gaifman
+module Tdecomp = Wm_relational.Tdecomp
 module Iso = Wm_relational.Iso
 module Neighborhood = Wm_relational.Neighborhood
 module Neighborhood_ref = Wm_relational.Neighborhood_ref

@@ -10,6 +10,7 @@ let () =
       ("flatcore", Test_flatcore.suite);
       ("incremental", Test_incremental.suite);
       ("perf", Test_perf.suite);
+      ("bounded", Test_bounded.suite);
       ("logic", Test_logic.suite);
       ("trees", Test_trees.suite);
       ("xml", Test_xml.suite);
